@@ -1,0 +1,109 @@
+"""E10 (ablation) — how aggressive should failure detection be? (paper §2.2)
+
+Paper: "Raincore uses an aggressive failure detection protocol that
+achieves fast failure detection convergence time" — one transport
+failure-on-delivery and the neighbour is gone.  The transport's retry
+budget is therefore *the* detection knob: fewer/faster retries detect real
+crashes sooner but misfire more often on a lossy network (false alarms the
+911 protocol then has to heal, paper §2.3).
+
+We sweep the retry budget and measure both sides of the trade:
+* detection latency — crash a member, time until survivors' views converge;
+* false-alarm churn — spurious membership events under 20% loss with no
+  real failures.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import node_names
+from repro.cluster.harness import RaincoreCluster
+from repro.core.config import RaincoreConfig
+from repro.metrics import Table
+from repro.transport.reliable import TransportConfig
+
+N = 4
+CHURN_WINDOW = 20.0
+LOSS = 0.20
+
+
+def make_cluster(tcfg: TransportConfig, loss: float, seed: int) -> RaincoreCluster:
+    cfg = RaincoreConfig.tuned(ring_size=N, hop_interval=0.01, transport=tcfg)
+    cluster = RaincoreCluster(node_names(N), seed=seed, config=cfg)
+    # Form on a clean network, then dial in the loss for the measurement
+    # window: the ablation is about steady-state behaviour, not about
+    # bootstrapping through a 20%-loss storm with a hair-trigger detector.
+    cluster.start_all()
+    cluster.topology.segment("net0").loss = loss
+    return cluster
+
+
+def detection_latency(tcfg: TransportConfig, seed: int = 31) -> float:
+    cluster = make_cluster(tcfg, 0.0, seed)
+    cluster.run(0.5)
+    victim = cluster.node_ids[-1]
+    t0 = cluster.loop.now
+    cluster.faults.crash_node(victim)
+    survivors = set(cluster.node_ids) - {victim}
+    deadline = t0 + 30.0
+    while cluster.loop.now < deadline:
+        cluster.run(0.005)
+        if cluster.converged(expected=survivors):
+            return cluster.loop.now - t0
+    raise AssertionError("survivors never converged")
+
+
+def false_alarm_churn(tcfg: TransportConfig, seed: int = 31) -> int:
+    cluster = make_cluster(tcfg, LOSS, seed)
+    for cn in cluster.nodes.values():
+        cn.listener.views.clear()
+    cluster.run(CHURN_WINDOW)
+    return sum(len(cn.listener.views) for cn in cluster.nodes.values())
+
+
+def test_e10_detection_aggressiveness_tradeoff(benchmark):
+    budgets = {
+        "hair-trigger (1x25ms)": TransportConfig(retx_timeout=0.025, attempts_per_route=1),
+        "aggressive (3x50ms, paper)": TransportConfig(retx_timeout=0.05, attempts_per_route=3),
+        "conservative (6x100ms)": TransportConfig(retx_timeout=0.10, attempts_per_route=6),
+    }
+
+    def sweep():
+        return {
+            label: (detection_latency(tcfg), false_alarm_churn(tcfg))
+            for label, tcfg in budgets.items()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table(
+        f"E10: failure-detection aggressiveness (N={N}, churn at {LOSS:.0%} loss)",
+        [
+            "retry budget",
+            "detection bound (s)",
+            "measured detection (s)",
+            f"spurious view events / {CHURN_WINDOW:.0f}s",
+        ],
+    )
+    for label, tcfg in budgets.items():
+        detect, churn_events = results[label]
+        table.add_row(
+            label, tcfg.failure_detection_bound(1), detect, churn_events
+        )
+    table.add_note(
+        "paper §2.2-2.3: aggressive detection is safe *because* the 911 "
+        "protocol heals false alarms automatically; the knob trades "
+        "detection speed against churn under loss"
+    )
+    table.print()
+
+    labels = list(budgets)
+    detects = [results[l][0] for l in labels]
+    churns = [results[l][1] for l in labels]
+    # Detection latency increases monotonically with the retry budget...
+    assert detects[0] < detects[2]
+    # ...false-alarm churn decreases with it...
+    assert churns[0] >= churns[1] >= churns[2]
+    # ...and even the hair-trigger config converges (911 self-healing):
+    # detection_latency() itself asserts convergence for every cell.
+    # The paper's setting detects well under its 2 s fail-over budget.
+    assert detects[1] < 2.0

@@ -1,0 +1,93 @@
+"""E1 — CPU task-switching overhead (paper §4.1, the headline analysis).
+
+Paper: with N nodes each multicasting M messages/s and the token doing L
+roundtrips/s (L < M), Raincore costs **L** GC task-switches per node per
+second; a broadcast-based protocol costs **at least M·N**; two-phase-commit
+ordering costs **up to 6·M·N**.
+
+This bench measures GC wakeups per node per second for all four protocols
+on identical workloads and checks the hierarchy and rough factors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import baseline_workload, raincore_workload
+from repro.metrics import Table
+
+M_RATE = 50.0  # messages per node per second
+DURATION = 2.0
+HOP = 0.005  # token hop interval -> L = 1/(N * HOP) roundtrips/s
+
+
+def measure(n: int) -> dict[str, float]:
+    """GC task-switches per node per second for each protocol."""
+    out: dict[str, float] = {}
+    rc = raincore_workload(n, M_RATE, DURATION, hop_interval=HOP, seed=1)
+    out["raincore"] = rc.stats.total("task_switches") / n / DURATION
+    for kind in ("broadcast", "sequencer", "2pc"):
+        bc = baseline_workload(kind, n, M_RATE, DURATION, seed=1)
+        # Baselines drain for an extra second; normalize over send window.
+        out[kind] = bc.stats.total("task_switches") / n / DURATION
+    return out
+
+
+@pytest.mark.parametrize("n", [4])
+def test_e1_hierarchy_holds(benchmark, n):
+    """Raincore « broadcast < 2PC, with factors in the paper's ballpark."""
+    results = benchmark.pedantic(measure, args=(n,), rounds=1, iterations=1)
+    L = 1.0 / (n * HOP)
+    mn = M_RATE * n
+
+    table = Table(
+        f"E1: GC task-switches per node per second (N={n}, M={M_RATE:.0f}/node/s)",
+        ["protocol", "measured /node/s", "paper's prediction", "measured/predicted"],
+    )
+    table.add_row("raincore", results["raincore"], f"L = {L:.0f}", results["raincore"] / L)
+    table.add_row("broadcast", results["broadcast"], f">= M*N = {mn:.0f}", results["broadcast"] / mn)
+    table.add_row("sequencer", results["sequencer"], "~ M*N", results["sequencer"] / mn)
+    table.add_row("2pc", results["2pc"], f"<= 6*M*N = {6*mn:.0f}", results["2pc"] / mn)
+    table.add_note("paper §4.1: L for Raincore vs M*N (broadcast) vs up to 6*M*N (2PC)")
+    table.print()
+
+    # Shape assertions (the paper's qualitative claims).
+    assert results["raincore"] < results["broadcast"] < results["2pc"]
+    # Raincore is within 2x of the analytic L (timers/failure-free overhead).
+    assert results["raincore"] <= 2.2 * L
+    # Broadcast costs at least ~M*N wakeups in aggregate terms.
+    assert results["broadcast"] >= 0.8 * mn
+    # 2PC lands between 2*M*N and 6*M*N.
+    assert 1.5 * mn <= results["2pc"] <= 6.0 * mn
+
+
+def test_e1_scaling_with_cluster_size(benchmark):
+    """Raincore's per-node wakeups *fall* with N (token visits each node
+    less often) while broadcast's grow linearly in N — the crossover the
+    paper's design banks on."""
+
+    def sweep():
+        rows = {}
+        for n in (2, 4, 8):
+            rc = raincore_workload(n, M_RATE, DURATION, hop_interval=HOP, seed=2)
+            bc = baseline_workload("broadcast", n, M_RATE, DURATION, seed=2)
+            rows[n] = (
+                rc.stats.total("task_switches") / n / DURATION,
+                bc.stats.total("task_switches") / n / DURATION,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        "E1b: per-node wakeups/s vs cluster size",
+        ["N", "raincore", "broadcast", "broadcast/raincore"],
+    )
+    for n, (rc, bc) in rows.items():
+        table.add_row(n, rc, bc, bc / rc)
+    table.print()
+
+    advantage = {n: bc / rc for n, (rc, bc) in rows.items()}
+    # The advantage grows superlinearly with N (L shrinks, M*N grows).
+    assert advantage[4] > advantage[2]
+    assert advantage[8] > advantage[4]
+    assert advantage[8] > 10.0

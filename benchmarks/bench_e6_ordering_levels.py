@@ -1,0 +1,84 @@
+"""E6 (ablation) — the cost of the consistency levels (paper §2.6).
+
+Paper: "Interestingly, it requires no extra cost to achieve agreed ordering
+than no ordering.  Safe multicast can also be achieved by Raincore, which
+requires that TOKEN travels one more round."
+
+We measure delivery latency for AGREED vs SAFE multicast across ring sizes
+and verify the structural claims: agreed ordering arrives within one ring
+traversal (i.e. the cost of reliability alone — there is nothing cheaper on
+a token), and safe ordering costs almost exactly one extra traversal.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import node_names
+from repro.cluster.harness import RaincoreCluster
+from repro.core.config import RaincoreConfig
+from repro.core.token import Ordering
+from repro.metrics import Table
+
+HOP = 0.002
+K_MSGS = 8
+
+
+def paired_latencies(n: int) -> tuple[float, float]:
+    """Phase-matched comparison: each trial sends one AGREED and one SAFE
+    message from the same node at the same instant, so both attach on the
+    same token visit and the difference is purely the ordering level."""
+    ids = node_names(n)
+    cluster = RaincoreCluster(
+        ids, seed=9, config=RaincoreConfig.tuned(ring_size=n, hop_interval=HOP)
+    )
+    cluster.start_all()
+    cluster.run(0.5)
+    agreed_lat, safe_lat = [], []
+    for i in range(K_MSGS):
+        origin = ids[i % n]
+        t0 = cluster.loop.now
+        cluster.node(origin).multicast(("agreed", i), size=100)
+        cluster.node(origin).multicast(("safe", i), size=100, ordering=Ordering.SAFE)
+        done: dict[str, float] = {}
+        deadline = t0 + 5.0
+        while cluster.loop.now < deadline and len(done) < 2:
+            cluster.run(0.0005)
+            for kind in ("agreed", "safe"):
+                if kind in done:
+                    continue
+                if all(
+                    any(d.payload == (kind, i) for d in cluster.listener(nid).deliveries)
+                    for nid in ids
+                ):
+                    done[kind] = cluster.loop.now - t0
+        agreed_lat.append(done["agreed"])
+        safe_lat.append(done["safe"])
+    return sum(agreed_lat) / K_MSGS, sum(safe_lat) / K_MSGS
+
+
+def test_e6_safe_costs_one_extra_round(benchmark):
+    def sweep():
+        return [(n, *paired_latencies(n)) for n in (2, 4, 8)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table(
+        f"E6: agreed vs safe delivery latency, hop={HOP*1e3:.0f} ms (seconds)",
+        ["N", "agreed", "safe", "safe - agreed", "extra rings ((safe-agreed)/(N*hop))"],
+    )
+    for n, agreed, safe in rows:
+        table.add_row(n, agreed, safe, safe - agreed, (safe - agreed) / (n * HOP))
+    table.add_note(
+        'paper §2.6: agreed ordering is free; safe "requires that TOKEN '
+        'travels one more round"'
+    )
+    table.print()
+
+    for n, agreed, safe in rows:
+        traversal = n * HOP
+        # Agreed completes within ~1.5 traversals (reliability's own cost).
+        assert agreed <= 1.6 * traversal + 0.01
+        # Safe costs roughly one extra traversal: the confirmation forms at
+        # the last audience receiver and the delivery round then covers the
+        # remaining (N-1)/N of the ring, so the floor is ~0.5 at N=2.
+        extra = (safe - agreed) / traversal
+        assert 0.35 <= extra <= 2.2, f"N={n}: extra rounds {extra:.2f}"

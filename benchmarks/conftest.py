@@ -1,0 +1,104 @@
+"""Shared drivers for the experiment benchmarks (DESIGN.md §4, E1–E8).
+
+Each ``bench_e*.py`` file regenerates one table or figure from the paper.
+Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the reproduced tables; without it the assertions alone verify
+the paper's qualitative claims (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    BroadcastNode,
+    SequencerNode,
+    TwoPhaseNode,
+    build_baseline_cluster,
+)
+from repro.cluster.harness import RaincoreCluster
+from repro.core.config import RaincoreConfig
+
+__all__ = [
+    "node_names",
+    "drive_multicast",
+    "raincore_workload",
+    "baseline_workload",
+    "BASELINES",
+]
+
+BASELINES = {
+    "broadcast": BroadcastNode,
+    "sequencer": SequencerNode,
+    "2pc": TwoPhaseNode,
+}
+
+
+def node_names(n: int) -> list[str]:
+    return [f"n{i:02d}" for i in range(n)]
+
+
+def drive_multicast(loop, senders, rate_per_node: float, duration: float, size: int):
+    """Schedule ``rate_per_node`` multicasts/s from each sender for
+    ``duration`` seconds, phase-staggered so sends do not all coincide."""
+    interval = 1.0 / rate_per_node
+    count = int(rate_per_node * duration)
+    for k, (name, send) in enumerate(senders.items()):
+        phase = (k / max(1, len(senders))) * interval
+        for i in range(count):
+            loop.call_later(
+                phase + i * interval, send, f"{name}-m{i}", size
+            )
+
+
+def raincore_workload(
+    n: int,
+    rate_per_node: float,
+    duration: float,
+    *,
+    size: int = 100,
+    hop_interval: float = 0.005,
+    seed: int = 0,
+    warmup: float = 1.0,
+):
+    """Form a Raincore cluster, drive the multicast workload, return the
+    cluster with stats covering exactly the measurement window."""
+    ids = node_names(n)
+    cluster = RaincoreCluster(
+        ids,
+        seed=seed,
+        config=RaincoreConfig.tuned(ring_size=n, hop_interval=hop_interval),
+    )
+    cluster.start_all()
+    cluster.run(warmup)
+    cluster.stats.reset()
+    senders = {
+        nid: (lambda payload, sz, nid=nid: cluster.node(nid).multicast(payload, size=sz))
+        for nid in ids
+    }
+    drive_multicast(cluster.loop, senders, rate_per_node, duration, size)
+    cluster.run(duration)
+    return cluster
+
+
+def baseline_workload(
+    kind: str,
+    n: int,
+    rate_per_node: float,
+    duration: float,
+    *,
+    size: int = 100,
+    seed: int = 0,
+):
+    """Same workload over one of the broadcast-style baselines."""
+    ids = node_names(n)
+    cluster = build_baseline_cluster(BASELINES[kind], ids, seed=seed)
+    cluster.stats.reset()
+    senders = {
+        nid: (lambda payload, sz, nid=nid: cluster[nid].multicast(payload, size=sz))
+        for nid in ids
+    }
+    drive_multicast(cluster.loop, senders, rate_per_node, duration, size)
+    cluster.run(duration + 1.0)  # drain in-flight ordering rounds
+    return cluster

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Virtual IP Manager demo (paper §3.1).
+
+A pool of four highly-available virtual IPs is spread over a three-node
+cluster.  When a node dies, only its VIPs move — the survivors' VIPs are
+untouched — and gratuitous ARPs retarget the subnet in well under the
+two-second fail-over budget.
+
+Run:  python examples/vip_failover.py
+"""
+
+from repro import RaincoreCluster
+from repro.apps.vip import ArpSubnet, VirtualIPManager
+from repro.data.shared_dict import SharedDict
+
+VIPS = ["10.1.0.1", "10.1.0.2", "10.1.0.3", "10.1.0.4"]
+
+
+def show(label: str, manager: VirtualIPManager, subnet: ArpSubnet) -> None:
+    print(f"\n{label}")
+    for vip in VIPS:
+        print(
+            f"  {vip} -> owner {manager.owner_of(vip)} "
+            f"(subnet ARP says {subnet.resolve(vip)})"
+        )
+
+
+def main() -> None:
+    cluster = RaincoreCluster(["gw1", "gw2", "gw3"], seed=7)
+    subnet = ArpSubnet()
+    managers = {}
+    for nid in cluster.node_ids:
+        node = cluster.node(nid)
+        shared = SharedDict(node)
+        managers[nid] = VirtualIPManager(node, shared, subnet, VIPS)
+    cluster.start_all()
+    cluster.run(1.0)
+    show("initial assignment (balanced):", managers["gw1"], subnet)
+
+    victim = managers["gw1"].owner_of(VIPS[0])
+    print(f"\nunplugging {victim} ...")
+    t0 = cluster.loop.now
+    cluster.faults.crash_node(victim)
+
+    # Watch until every VIP resolves to a live node again.
+    live = {n.node_id for n in cluster.live_nodes()}
+    while cluster.loop.now - t0 < 5.0:
+        cluster.run(0.05)
+        if all(subnet.resolve(v) in live for v in VIPS):
+            break
+    print(f"fail-over complete in {cluster.loop.now - t0:.3f}s (paper budget: 2s)")
+    survivor = next(iter(live))
+    show("after fail-over (only the victim's VIPs moved):", managers[survivor], subnet)
+
+    print(f"\ngratuitous ARPs sent: {len(subnet.history)}")
+    for t, vip, owner in subnet.history:
+        print(f"  t={t:.3f}s  {vip} -> {owner}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so pip cannot build the modern
+PEP-660 editable wheel; this shim lets ``pip install -e .`` fall back to the
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

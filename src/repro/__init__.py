@@ -1,0 +1,32 @@
+"""repro — reproduction of "The Raincore Distributed Session Service for
+Networking Elements" (C. C. Fan & J. Bruck, IPPS 2001).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.net` — simulated unreliable unicast network (the "UDP").
+* :mod:`repro.transport` — Raincore Transport Service (paper §2.1).
+* :mod:`repro.core` — Raincore Distributed Session Service (paper §2).
+* :mod:`repro.data` — Raincore Distributed Data Service (locks, shared state).
+* :mod:`repro.baselines` — broadcast-based comparators (paper §4.1).
+* :mod:`repro.apps` — Virtual IP Manager and Rainwall (paper §3).
+* :mod:`repro.cluster` — cluster harness and fault injection.
+* :mod:`repro.metrics` — experiment reporting helpers.
+"""
+
+__version__ = "1.0.1"
+
+from repro.cluster.harness import RaincoreCluster
+from repro.core.config import RaincoreConfig
+from repro.core.events import RecordingListener, SessionListener
+from repro.core.session import RaincoreNode
+from repro.core.token import Ordering
+
+__all__ = [
+    "RaincoreCluster",
+    "RaincoreConfig",
+    "RecordingListener",
+    "SessionListener",
+    "RaincoreNode",
+    "Ordering",
+    "__version__",
+]

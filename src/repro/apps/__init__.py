@@ -1,0 +1,39 @@
+"""Applications built on the Raincore services (paper §3).
+
+* :mod:`repro.apps.vip` — the Virtual IP Manager (§3.1).
+* :mod:`repro.apps.firewall` — the rule-based packet filter being clustered.
+* :mod:`repro.apps.traffic` — the flow-level HTTP workload of Fig. 3.
+* :mod:`repro.apps.rainwall` — Rainwall: firewall clustering with
+  connection-by-connection load balancing and transparent fail-over (§3.2).
+"""
+
+from repro.apps.conntrack import ConnAssign, ConnClose, ConnectionTable
+from repro.apps.firewall import ALLOW_WEB_POLICY, Action, Firewall, Rule
+from repro.apps.nat import NatMapping, NatOp, NatSnapshot, NatTable
+from repro.apps.rainwall import RainwallCluster, RainwallConfig, RainwallNode
+from repro.apps.traffic import Flow, FlowStats, GatewayPort, TrafficEngine
+from repro.apps.vip import ArpSubnet, VirtualIPManager, compute_assignment
+
+__all__ = [
+    "ALLOW_WEB_POLICY",
+    "Action",
+    "ConnAssign",
+    "ConnClose",
+    "ConnectionTable",
+    "Firewall",
+    "NatMapping",
+    "NatOp",
+    "NatSnapshot",
+    "NatTable",
+    "Rule",
+    "RainwallCluster",
+    "RainwallConfig",
+    "RainwallNode",
+    "Flow",
+    "FlowStats",
+    "GatewayPort",
+    "TrafficEngine",
+    "ArpSubnet",
+    "VirtualIPManager",
+    "compute_assignment",
+]

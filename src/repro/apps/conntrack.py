@@ -1,0 +1,131 @@
+"""Replicated connection table — Rainwall's shared assignment state.
+
+Paper §3.2: "The load and connection assignment information are shared
+among the cluster using the Raincore Distributed Session Service."
+
+Every gateway runs a :class:`ConnectionTable`.  When the packet engine
+places a new connection, the entry gateway forwards traffic *immediately*
+(the fast path never waits for replication) and multicasts the assignment;
+every member applies the same assignment stream in the same order, so all
+gateways know every connection's home.
+
+That replicated knowledge is what makes connection fail-over transparent:
+when the membership view drops a gateway, each survivor scans its table for
+orphaned connections and **adopts** a deterministic share of them
+(``hash(flow) % len(survivors)``) by multicasting a re-assignment; it
+starts forwarding the moment its own re-assignment op is delivered back to
+it.  No simulator ground truth is consulted anywhere — fail-over latency is
+detection + view change + one token ride, exactly the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.events import Delivery, SessionListener, ViewChange, ensure_composite
+from repro.core.session import RaincoreNode
+
+__all__ = ["ConnAssign", "ConnClose", "ConnectionTable"]
+
+
+@dataclass(frozen=True)
+class ConnAssign:
+    """Replicated fact: connection ``flow_id`` is handled by ``gateway``."""
+
+    flow_id: int
+    gateway: str
+
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class ConnClose:
+    """Replicated fact: connection ``flow_id`` finished."""
+
+    flow_id: int
+
+    def wire_size(self) -> int:
+        return 12
+
+
+class ConnectionTable(SessionListener):
+    """Per-gateway replica of the cluster's connection-assignment map."""
+
+    def __init__(
+        self,
+        node: RaincoreNode,
+        on_assignment: Callable[[int, str], None] | None = None,
+    ) -> None:
+        self.node = node
+        #: fired on *this* node when any assignment op is delivered here;
+        #: the Rainwall agent uses it to start forwarding adopted flows.
+        self.on_assignment = on_assignment
+        ensure_composite(node).add(self)
+        self._table: dict[int, str] = {}
+        self._last_view: tuple[str, ...] = ()
+        self.adoptions = 0
+
+    # ------------------------------------------------------------------
+    # fast-path hooks (called by the packet engine)
+    # ------------------------------------------------------------------
+    def record(self, flow_id: int, gateway: str) -> None:
+        """Share a fresh placement with the cluster (async, non-blocking)."""
+        self.node.multicast(ConnAssign(flow_id, gateway))
+
+    def close(self, flow_id: int) -> None:
+        """Share that a connection completed (keeps the table bounded)."""
+        self.node.multicast(ConnClose(flow_id))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def home_of(self, flow_id: int) -> str | None:
+        return self._table.get(flow_id)
+
+    def connections_on(self, gateway: str) -> list[int]:
+        return [fid for fid, gw in self._table.items() if gw == gateway]
+
+    def size(self) -> int:
+        return len(self._table)
+
+    def snapshot(self) -> dict[int, str]:
+        return dict(self._table)
+
+    # ------------------------------------------------------------------
+    # replicated state machine
+    # ------------------------------------------------------------------
+    def on_deliver(self, delivery: Delivery) -> None:
+        op = delivery.payload
+        if isinstance(op, ConnAssign):
+            self._table[op.flow_id] = op.gateway
+            if op.gateway == self.node.node_id and self.on_assignment is not None:
+                self.on_assignment(op.flow_id, op.gateway)
+            # Late assignment to a gateway that has already left the view
+            # (the op was in flight when the failure was detected): the
+            # responsible survivor re-adopts it right away.
+            members = self.node.members
+            if members and op.gateway not in members:
+                self._maybe_adopt(op.flow_id, members)
+        elif isinstance(op, ConnClose):
+            self._table.pop(op.flow_id, None)
+
+    def _maybe_adopt(self, flow_id: int, members: tuple[str, ...]) -> None:
+        survivors = sorted(members)
+        my_rank = survivors.index(self.node.node_id) if self.node.node_id in survivors else -1
+        if my_rank >= 0 and flow_id % len(survivors) == my_rank:
+            self.adoptions += 1
+            self.record(flow_id, self.node.node_id)
+
+    # ------------------------------------------------------------------
+    # connection fail-over: adopt the dead gateway's flows
+    # ------------------------------------------------------------------
+    def on_view_change(self, view: ViewChange) -> None:
+        removed = set(self._last_view) - set(view.members)
+        self._last_view = view.members
+        if not removed or self.node.node_id not in view.members:
+            return
+        for dead in removed:
+            for flow_id in sorted(self.connections_on(dead)):
+                self._maybe_adopt(flow_id, view.members)

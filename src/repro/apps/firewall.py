@@ -1,0 +1,76 @@
+"""Rule-based packet filter — the clustered networking element of §3.2.
+
+    "Firewall is essentially a router that filters traffic according to a
+    security policy."
+
+Rules are evaluated first-match in order; the default policy is DENY, the
+standard stance for enterprise entry points.  Matching works on the flow
+metadata the traffic engine carries (client id prefix, destination port,
+target VIP), which is the flow-level analogue of 5-tuple matching.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from repro.apps.traffic import Flow
+
+__all__ = ["Rule", "Action", "Firewall", "ALLOW_WEB_POLICY"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One policy entry: patterns are shell-style globs, None = wildcard."""
+
+    action: str  # "allow" | "deny"
+    src: str | None = None
+    vip: str | None = None
+    dst_port: int | None = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ("allow", "deny"):
+            raise ValueError(f"unknown action {self.action!r}")
+
+    def matches(self, flow: Flow) -> bool:
+        if self.src is not None and not fnmatch.fnmatch(flow.src, self.src):
+            return False
+        if self.vip is not None and not fnmatch.fnmatch(flow.vip, self.vip):
+            return False
+        if self.dst_port is not None and flow.dst_port != self.dst_port:
+            return False
+        return True
+
+
+class Action:
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass
+class Firewall:
+    """Ordered first-match filter with default deny."""
+
+    rules: list[Rule] = field(default_factory=list)
+    allowed: int = 0
+    denied: int = 0
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def permits(self, flow: Flow) -> bool:
+        """Evaluate the policy for a new connection."""
+        for rule in self.rules:
+            if rule.matches(flow):
+                if rule.action == Action.ALLOW:
+                    self.allowed += 1
+                    return True
+                self.denied += 1
+                return False
+        self.denied += 1
+        return False
+
+
+#: The Fig. 3 benchmark policy: permit web traffic to the advertised VIPs.
+ALLOW_WEB_POLICY = [Rule(Action.ALLOW, dst_port=80, comment="permit HTTP")]

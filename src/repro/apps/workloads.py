@@ -1,0 +1,82 @@
+"""Workload models for the traffic engine.
+
+The Fig. 3 benchmark uses fixed-size downloads for calibration clarity, but
+real web traffic (the paper's workload: HTTP clients against Apache
+servers) is heavy-tailed.  These factories produce ``flow_size`` callables
+for :class:`~repro.apps.traffic.TrafficEngine`, all driven by the
+simulation's seeded RNG so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+__all__ = ["constant", "pareto", "lognormal", "bimodal"]
+
+SizeFn = Callable[[], float]
+
+
+def constant(size: float) -> SizeFn:
+    """Every flow transfers exactly ``size`` bytes."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return lambda: float(size)
+
+
+def pareto(rng: random.Random, mean: float, alpha: float = 1.5) -> SizeFn:
+    """Bounded-mean Pareto sizes — the classic web-object model.
+
+    ``alpha`` is the tail index (1 < alpha: finite mean; web measurements
+    cluster around 1.2–1.6).  ``mean`` fixes the scale so the expected size
+    is ``mean``: x_min = mean · (alpha − 1) / alpha.
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for a finite mean")
+    x_min = mean * (alpha - 1.0) / alpha
+
+    def draw() -> float:
+        # Inverse-CDF sampling: x = x_min / U^(1/alpha).
+        u = rng.random()
+        while u == 0.0:  # pragma: no cover - probability ~0
+            u = rng.random()
+        return x_min / (u ** (1.0 / alpha))
+
+    return draw
+
+
+def lognormal(rng: random.Random, mean: float, sigma: float = 1.0) -> SizeFn:
+    """Log-normal sizes with the given (linear-scale) mean."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    mu = math.log(mean) - sigma * sigma / 2.0
+
+    return lambda: rng.lognormvariate(mu, sigma)
+
+
+def bimodal(
+    rng: random.Random,
+    small: float,
+    large: float,
+    p_large: float = 0.05,
+) -> SizeFn:
+    """Mice-and-elephants: mostly ``small`` flows, occasionally ``large``.
+
+    The standard stress model for per-connection load balancers — a few
+    elephants can skew a gateway, which is exactly what the shared load
+    table exists to counteract.
+    """
+    if small <= 0 or large <= 0:
+        raise ValueError("sizes must be positive")
+    if not 0.0 <= p_large <= 1.0:
+        raise ValueError("p_large must be a probability")
+
+    def draw() -> float:
+        return float(large if rng.random() < p_large else small)
+
+    return draw

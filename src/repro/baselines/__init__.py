@@ -1,0 +1,39 @@
+"""Broadcast-based group-communication comparators (paper §4.1).
+
+Raincore's overhead argument is comparative: per second, with N nodes each
+multicasting M messages and the token doing L roundtrips,
+
+=====================  =========================  =====================
+protocol               GC task-switches per node  ordering
+=====================  =========================  =====================
+Raincore token ring    L                          agreed (safe optional)
+plain broadcast        ≥ M·N                      none
+fixed sequencer        ≈ M·N (2·M·N at sequencer) total
+two-phase commit       up to 6·M·N                total
+=====================  =========================  =====================
+
+These implementations run over the same simulated network and the same
+reliable transport as Raincore, so measured differences come from protocol
+structure, not substrate asymmetries.
+"""
+
+from repro.baselines.adapter import (
+    BaselineCluster,
+    RaincoreChannel,
+    build_baseline_cluster,
+)
+from repro.baselines.base import BaselineNode, GroupChannel
+from repro.baselines.broadcast import BroadcastNode
+from repro.baselines.sequencer import SequencerNode
+from repro.baselines.two_phase import TwoPhaseNode
+
+__all__ = [
+    "BaselineCluster",
+    "RaincoreChannel",
+    "build_baseline_cluster",
+    "BaselineNode",
+    "GroupChannel",
+    "BroadcastNode",
+    "SequencerNode",
+    "TwoPhaseNode",
+]

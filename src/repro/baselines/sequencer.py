@@ -1,0 +1,113 @@
+"""Fixed-sequencer ordered broadcast — an intermediate ablation point.
+
+Not described in the paper, but the natural midpoint between the plain
+broadcast (no ordering, M·N wakeups) and two-phase commit (total order,
+up to 6·M·N wakeups): a designated sequencer assigns the global order, so
+total order costs one forwarding hop through the sequencer instead of a
+vote round.  Its weakness — the sequencer handles ~2·M·N packets and
+becomes both hotspot and single point of failure — is one of the reasons
+the paper's token design distributes the ordering role around the ring.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.baselines.base import BaselineNode
+
+__all__ = ["SequencerNode", "SeqSubmit", "SeqOrdered"]
+
+
+@dataclass(frozen=True)
+class SeqSubmit:
+    """Payload submitted to the sequencer for ordering."""
+
+    origin: str
+    msg_no: int
+    payload: object
+    size: int
+
+    def wire_size(self) -> int:
+        return 16 + self.size
+
+    def dedup_key(self) -> tuple:
+        return ("submit", self.origin, self.msg_no)
+
+
+@dataclass(frozen=True)
+class SeqOrdered:
+    """Sequenced payload fanned out by the sequencer."""
+
+    origin: str
+    msg_no: int
+    global_seq: int
+    payload: object
+    size: int
+
+    def wire_size(self) -> int:
+        return 24 + self.size
+
+    def dedup_key(self) -> tuple:
+        return ("ordered", self.global_seq)
+
+
+class SequencerNode(BaselineNode):
+    """Endpoint of a fixed-sequencer total-order broadcast.
+
+    The sequencer is the lexicographically smallest member, mirroring
+    Raincore's lowest-id group-id convention.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._msg_no = itertools.count(1)
+        self._global_seq = itertools.count(1)  # used only by the sequencer
+        self._next_expected = 1
+        self._reorder: dict[int, SeqOrdered] = {}
+
+    @property
+    def sequencer_id(self) -> str:
+        return min(self.members)
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.node_id == self.sequencer_id
+
+    # ------------------------------------------------------------------
+    def multicast(self, payload: object, size: int = 64) -> None:
+        self.charge_send_wakeup()
+        self.stats.messages_multicast += 1
+        msg_no = next(self._msg_no)
+        if self.is_sequencer:
+            self._sequence(SeqSubmit(self.node_id, msg_no, payload, size))
+        else:
+            self._send_reliable(
+                self.sequencer_id, SeqSubmit(self.node_id, msg_no, payload, size)
+            )
+
+    # ------------------------------------------------------------------
+    def _handle(self, src: str, payload: object) -> None:
+        if isinstance(payload, SeqSubmit) and self.is_sequencer:
+            self._sequence(payload)
+        elif isinstance(payload, SeqOrdered):
+            self._on_ordered(payload)
+
+    def _sequence(self, submit: SeqSubmit) -> None:
+        ordered = SeqOrdered(
+            submit.origin,
+            submit.msg_no,
+            next(self._global_seq),
+            submit.payload,
+            submit.size,
+        )
+        for peer in self.peers:
+            self._send_reliable(peer, ordered)
+        self._on_ordered(ordered)
+
+    def _on_ordered(self, msg: SeqOrdered) -> None:
+        self._reorder[msg.global_seq] = msg
+        while self._next_expected in self._reorder:
+            ready = self._reorder.pop(self._next_expected)
+            self._next_expected += 1
+            self._deliver_up(ready.origin, ready.payload)

@@ -1,0 +1,177 @@
+"""Two-phase-commit total-order broadcast — the paper's "6·M·N" comparator.
+
+Paper §4.1: "If a two-phase commit protocol is used to guarantee consistent
+ordering, up to 6 × M × N task-switching actions are needed at every node."
+
+We implement the classic coordinator-driven agreed-ordering protocol
+(Skeen's algorithm, the ISIS ABCAST ancestor) over unicast:
+
+1. the origin sends ``PROPOSE(msg)`` to every peer;
+2. each receiver stamps the message with its logical clock and replies
+   ``VOTE(proposed timestamp)``, holding the message back undeliverable;
+3. the origin takes the maximum timestamp and sends ``COMMIT(final)``;
+4. everyone delivers held-back messages in final-timestamp order once the
+   head of the queue is committed and no pending message could be ordered
+   before it.
+
+Per multicast this costs every node several GC wakeups (propose, commit,
+plus the origin's N−1 votes) and 3·(N−1) acknowledged packets — the paper's
+"up to 6·M·N" once acks and retransmissions are counted.  Unlike the plain
+broadcast baseline, this one achieves exactly Raincore's agreed ordering,
+making the task-switch comparison like-for-like.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.baselines.base import BaselineNode
+
+__all__ = ["TwoPhaseNode", "Propose", "Vote", "Commit"]
+
+
+@dataclass(frozen=True)
+class Propose:
+    origin: str
+    msg_no: int
+    payload: object
+    size: int
+
+    def wire_size(self) -> int:
+        return 16 + self.size
+
+    def dedup_key(self) -> tuple:
+        return ("propose", self.origin, self.msg_no)
+
+
+@dataclass(frozen=True)
+class Vote:
+    origin: str  # message origin (coordinator) the vote is for
+    msg_no: int
+    voter: str
+    proposed: int
+
+    def wire_size(self) -> int:
+        return 24
+
+    def dedup_key(self) -> tuple:
+        return ("vote", self.origin, self.msg_no, self.voter)
+
+
+@dataclass(frozen=True)
+class Commit:
+    origin: str
+    msg_no: int
+    final: int
+    tie: str  # origin id reused as the deterministic tie-breaker
+
+    def wire_size(self) -> int:
+        return 24
+
+    def dedup_key(self) -> tuple:
+        return ("commit", self.origin, self.msg_no)
+
+
+@dataclass
+class _Held:
+    origin: str
+    msg_no: int
+    payload: object
+    ts: int  # proposed until committed, then final
+    tie: str
+    committed: bool = False
+
+
+class TwoPhaseNode(BaselineNode):
+    """Skeen-style total-order broadcast endpoint."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._lc = 0
+        self._msg_no = itertools.count(1)
+        self._held: dict[tuple[str, int], _Held] = {}
+        # Coordinator state: votes collected per in-flight message.
+        self._votes: dict[tuple[str, int], list[int]] = {}
+
+    # ------------------------------------------------------------------
+    def multicast(self, payload: object, size: int = 64) -> None:
+        msg_no = next(self._msg_no)
+        self.charge_send_wakeup()
+        self.stats.messages_multicast += 1
+        key = (self.node_id, msg_no)
+        # Our own proposal participates in the vote.
+        self._lc += 1
+        self._held[key] = _Held(self.node_id, msg_no, payload, self._lc, self.node_id)
+        self._votes[key] = [self._lc]
+        if not self.peers:
+            self._commit(key, self._lc)
+            return
+        frame = Propose(self.node_id, msg_no, payload, size)
+        for peer in self.peers:
+            self._send_reliable(peer, frame)
+
+    # ------------------------------------------------------------------
+    def _handle(self, src: str, payload: object) -> None:
+        if isinstance(payload, Propose):
+            self._on_propose(payload)
+        elif isinstance(payload, Vote):
+            self._on_vote(payload)
+        elif isinstance(payload, Commit):
+            self._on_commit(payload)
+
+    def _on_propose(self, msg: Propose) -> None:
+        self._lc += 1
+        key = (msg.origin, msg.msg_no)
+        self._held[key] = _Held(msg.origin, msg.msg_no, msg.payload, self._lc, msg.origin)
+        self._send_reliable(
+            msg.origin, Vote(msg.origin, msg.msg_no, self.node_id, self._lc)
+        )
+
+    def _on_vote(self, vote: Vote) -> None:
+        key = (vote.origin, vote.msg_no)
+        votes = self._votes.get(key)
+        if votes is None:
+            return  # duplicate/stale vote
+        votes.append(vote.proposed)
+        if len(votes) == len(self.members):
+            final = max(votes)
+            del self._votes[key]
+            for peer in self.peers:
+                self._send_reliable(peer, Commit(vote.origin, vote.msg_no, final, vote.origin))
+            self._commit(key, final)
+
+    def _on_commit(self, commit: Commit) -> None:
+        self._commit((commit.origin, commit.msg_no), commit.final)
+
+    def _commit(self, key: tuple[str, int], final: int) -> None:
+        held = self._held.get(key)
+        if held is None or held.committed:
+            return
+        held.ts = final
+        held.committed = True
+        self._lc = max(self._lc, final)
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        """Deliver committed messages that can no longer be preceded.
+
+        A committed message with timestamp t is deliverable when every other
+        held message — committed or not — has (ts, tie) greater than
+        (t, tie): an uncommitted message's final timestamp can only grow.
+        """
+        while self._held:
+            head_key, head = min(
+                self._held.items(), key=lambda kv: (kv[1].ts, kv[1].tie, kv[0][1])
+            )
+            if not head.committed:
+                return
+            blocked = any(
+                (h.ts, h.tie, k[1]) < (head.ts, head.tie, head_key[1])
+                for k, h in self._held.items()
+                if k != head_key
+            )
+            if blocked:  # pragma: no cover - min() choice precludes this
+                return
+            del self._held[head_key]
+            self._deliver_up(head.origin, head.payload)

@@ -1,0 +1,306 @@
+"""Command-line interface: run scenarios and experiments without pytest.
+
+Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
+
+* ``info`` — package overview and experiment index;
+* ``quickstart`` — form a group, multicast, crash and rejoin a member;
+* ``trace`` — print a protocol event timeline for a short run;
+* ``scaling`` — the Figure 3 Rainwall throughput sweep;
+* ``failover`` — the §3.2 cable-unplug experiment;
+* ``merge`` — split-brain and TBM merge walk-through;
+* ``hierarchy`` — the §5 two-plane scalability extension;
+* ``soak`` — randomized churn with invariant checks.
+
+Everything runs in simulated time, so each command finishes in seconds of
+wall clock regardless of how much virtual time it covers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="raincore-repro",
+        description=(
+            "Reproduction of the Raincore Distributed Session Service "
+            "(Fan & Bruck, IPPS 2001)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package overview and experiment index")
+
+    p = sub.add_parser("quickstart", help="group formation, multicast, crash, rejoin")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--seed", type=int, default=2024)
+
+    p = sub.add_parser("trace", help="print a protocol event timeline")
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--duration", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--limit", type=int, default=60)
+    p.add_argument(
+        "--kinds",
+        default="state,view,token,deliver,shutdown",
+        help="comma-separated event kinds to show",
+    )
+    p.add_argument(
+        "--swimlanes",
+        action="store_true",
+        help="render one column per node instead of a flat timeline",
+    )
+
+    p = sub.add_parser("scaling", help="Figure 3: Rainwall throughput sweep")
+    p.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4])
+    p.add_argument("--seed", type=int, default=42)
+
+    p = sub.add_parser("failover", help="the 2-second cable-unplug experiment")
+    p.add_argument("--seed", type=int, default=11)
+
+    p = sub.add_parser("merge", help="split-brain and group merge walk-through")
+    p.add_argument("--seed", type=int, default=5)
+
+    p = sub.add_parser("hierarchy", help="two-plane hierarchical demo (§5)")
+    p.add_argument("--groups", type=int, default=3)
+    p.add_argument("--group-size", type=int, default=3)
+    p.add_argument("--seed", type=int, default=4)
+
+    p = sub.add_parser("soak", help="randomized churn with invariant checks")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_info(args) -> int:
+    import repro
+
+    print(f"raincore-repro {repro.__version__}")
+    print(__doc__.split("\n\n")[0])
+    print(
+        "\nExperiments (pytest benchmarks/bench_<id>_*.py --benchmark-only -s):"
+    )
+    experiments = [
+        ("e1", "CPU task-switching: L vs M*N vs 6*M*N (paper §4.1)"),
+        ("e2", "network overhead: (N-1)^2 packets vs token piggybacking"),
+        ("e3", "Figure 3: Rainwall throughput and scaling"),
+        ("e4", "the 2-second fail-over claim (§3.2)"),
+        ("e5", "multicast latency vs cluster size"),
+        ("e6", "agreed vs safe ordering cost (§2.6)"),
+        ("e7", "redundant-link resilience (§2.1)"),
+        ("e8", "911 token regeneration (§2.3)"),
+        ("e9", "hierarchical scalability extension (§5)"),
+        ("e10", "failure-detection aggressiveness ablation (§2.2)"),
+        ("e11", "token-rate dial ablation (§2.2)"),
+        ("e12", "Fig. 3 scaling under heavy-tailed workloads"),
+        ("e13", "split-brain merge convergence (§2.4)"),
+    ]
+    for eid, desc in experiments:
+        print(f"  {eid:<4} {desc}")
+    print("\nSee DESIGN.md and EXPERIMENTS.md for details.")
+    return 0
+
+
+def cmd_quickstart(args) -> int:
+    from repro.cluster.harness import RaincoreCluster
+
+    ids = [chr(ord("A") + i) for i in range(args.nodes)]
+    cluster = RaincoreCluster(ids, seed=args.seed)
+    cluster.start_all()
+    print(f"group formed: {'-'.join(cluster.node(ids[0]).members)}")
+    cluster.node(ids[0]).multicast(b"hello")
+    cluster.run(1.0)
+    delivered = sum(
+        1 for nid in ids if cluster.listener(nid).deliveries
+    )
+    print(f"multicast delivered at {delivered}/{len(ids)} nodes")
+    victim = ids[-1]
+    cluster.faults.crash_node(victim)
+    cluster.run_until_converged(5.0, expected=set(ids) - {victim})
+    print(f"{victim} crashed; membership now {cluster.node(ids[0]).members}")
+    cluster.faults.recover_node(victim)
+    ok = cluster.run_until_converged(8.0, expected=set(ids))
+    print(f"{victim} rejoined via 911: {cluster.node(ids[0]).members}")
+    print(
+        f"task switches/node: {cluster.stats.per_node('task_switches')}"
+    )
+    return 0 if ok else 1
+
+
+def cmd_trace(args) -> int:
+    from repro.cluster.harness import RaincoreCluster
+    from repro.metrics.trace import TraceRecorder
+
+    ids = [chr(ord("A") + i) for i in range(args.nodes)]
+    cluster = RaincoreCluster(ids, seed=args.seed)
+    trace = TraceRecorder(cluster)
+    cluster.start_all()
+    cluster.node(ids[0]).multicast(b"traced")
+    cluster.run(args.duration)
+    kinds = set(args.kinds.split(","))
+    if args.swimlanes:
+        from repro.metrics.trace import render_swimlanes
+
+        print(render_swimlanes(trace.filter(kinds=kinds), ids, limit=args.limit))
+    else:
+        print(trace.render(kinds=kinds, limit=args.limit))
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from repro.apps.rainwall import RainwallCluster, RainwallConfig
+
+    print(f"{'nodes':>5} | {'Mbit/s':>8} | {'scaling':>7} | {'max CPU %':>9}")
+    base = None
+    for n in args.nodes:
+        cfg = RainwallConfig(
+            vips=[f"10.1.0.{i}" for i in range(1, n + 1)], arrival_rate=500.0
+        )
+        rw = RainwallCluster([f"g{i}" for i in range(n)], seed=args.seed, config=cfg)
+        rw.start()
+        rw.run(6.0)
+        tp = rw.throughput_mbps(since=rw.loop.now - 4.0)
+        cpu = max(rw.rainwall_cpu_percent(6.0).values())
+        base = base if base is not None else tp
+        print(f"{n:>5} | {tp:>8.1f} | {tp / base:>6.2f}x | {cpu:>8.2f}%")
+    print("paper: 95 / 187 / 357 Mbit/s (1.97x, 3.76x), CPU < 1%")
+    return 0
+
+
+def cmd_failover(args) -> int:
+    from repro.apps.rainwall import RainwallCluster, RainwallConfig
+
+    rw = RainwallCluster(
+        ["g0", "g1"], seed=args.seed, config=RainwallConfig(arrival_rate=300.0)
+    )
+    rw.start()
+    rw.run(3.0)
+    print(f"steady state: {rw.throughput_mbps(since=1.0):.1f} Mbit/s")
+    rw.unplug_gateway("g1")
+    rw.run(6.0)
+    stalls = [f.total_stall for f in rw.engine.flows.values()]
+    lost = sum(
+        1 for f in rw.engine.flows.values() if not f.done and f.gateway is None
+    )
+    print(f"g1 unplugged: {rw.raincore.node('g1').shutdown_reason}")
+    print(f"worst connection hiccup: {max(stalls):.3f}s (paper budget: 2s)")
+    print(f"connections lost: {lost}")
+    print(f"resumed at {rw.throughput_mbps(since=rw.loop.now - 2.0):.1f} Mbit/s")
+    return 0 if max(stalls) < 2.0 and lost == 0 else 1
+
+
+def cmd_merge(args) -> int:
+    from repro.cluster.harness import RaincoreCluster
+
+    cluster = RaincoreCluster(list("ABCDEF"), seed=args.seed)
+    cluster.start_all()
+    print(f"formed: {cluster.node('A').members}")
+    cluster.faults.partition(["A", "B"], ["C", "D"], ["E", "F"])
+    cluster.run(3.0)
+    views = {v for v in cluster.membership_views().values()}
+    print(f"split-brain: {len(views)} independent groups: {sorted(views)}")
+    cluster.faults.heal_partition()
+    ok = cluster.run_until_converged(20.0, expected=set("ABCDEF"))
+    print(f"healed and merged: {cluster.node('A').members}")
+    return 0 if ok else 1
+
+
+def cmd_soak(args) -> int:
+    from repro.cluster.harness import RaincoreCluster
+    from repro.core.config import RaincoreConfig
+
+    ids = [f"n{i:02d}" for i in range(args.nodes)]
+    cluster = RaincoreCluster(
+        ids, seed=args.seed, config=RaincoreConfig.tuned(ring_size=args.nodes)
+    )
+    cluster.start_all(form_time=30.0)
+    rng = cluster.loop.rng
+    rounds = int(args.duration)
+    sent = 0
+    for r in range(rounds):
+        for _ in range(2):
+            origin = ids[rng.randrange(args.nodes)]
+            if cluster.node(origin).state.value != "down":
+                cluster.node(origin).multicast(f"bg-{sent}")
+                sent += 1
+        roll = rng.random()
+        live = [x.node_id for x in cluster.live_nodes()]
+        if roll < 0.15 and len(live) > args.nodes // 2:
+            cluster.faults.crash_node(live[rng.randrange(len(live))])
+        elif roll < 0.30:
+            down = [x for x in ids if x not in live]
+            if down:
+                cluster.faults.recover_node(down[rng.randrange(len(down))])
+        elif roll < 0.40:
+            cluster.faults.lose_token()
+        cluster.run(1.0)
+    for nid in ids:
+        if cluster.node(nid).state.value == "down":
+            cluster.faults.recover_node(nid)
+    ok = cluster.run_until_converged(60.0, expected=set(ids))
+    dupes = sum(
+        len(cluster.listener(nid).delivery_keys)
+        - len(set(cluster.listener(nid).delivery_keys))
+        for nid in ids
+    )
+    print(
+        f"soak: {rounds}s virtual churn on {args.nodes} nodes, {sent} multicasts"
+    )
+    print(f"converged after quiescence: {ok}; duplicate deliveries: {dupes}")
+    regens = sum(cluster.node(nid).recovery.regenerations for nid in ids)
+    print(f"token regenerations during run: {regens}")
+    return 0 if ok and dupes == 0 else 1
+
+
+def cmd_hierarchy(args) -> int:
+    from repro.hierarchy import HierarchicalCluster
+
+    groups = [
+        [f"{chr(ord('a') + g)}{i}" for i in range(args.group_size)]
+        for g in range(args.groups)
+    ]
+    h = HierarchicalCluster(groups, seed=args.seed)
+    h.start()
+    print(f"{args.groups} sub-rings of {args.group_size}; leaders: {h.current_leaders()}")
+    print(f"top ring: {h.top_view()}")
+    sender = groups[0][-1]
+    h.members[sender].multicast_global("global hello")
+    h.run(4.0)
+    reach = sum(1 for nid in h.machine_ids if h.global_log[nid])
+    print(f"global multicast from {sender} reached {reach}/{len(h.machine_ids)} machines")
+    victim = h.current_leaders()[0]
+    print(f"crashing leader {victim} ...")
+    h.crash_machine(victim)
+    ok = h.run_until_formed(20.0)
+    print(f"re-formed: leaders {h.current_leaders()}, top ring {h.top_view()}")
+    return 0 if ok and reach == len(h.machine_ids) else 1
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "quickstart": cmd_quickstart,
+    "trace": cmd_trace,
+    "scaling": cmd_scaling,
+    "failover": cmd_failover,
+    "merge": cmd_merge,
+    "hierarchy": cmd_hierarchy,
+    "soak": cmd_soak,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Cluster harness and fault injection for simulated Raincore deployments."""
+
+from repro.cluster.faults import FaultInjector
+from repro.cluster.harness import ClusterNode, RaincoreCluster
+from repro.cluster.invariants import InvariantMonitor, Violation
+
+__all__ = [
+    "FaultInjector",
+    "ClusterNode",
+    "RaincoreCluster",
+    "InvariantMonitor",
+    "Violation",
+]

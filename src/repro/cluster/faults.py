@@ -1,0 +1,133 @@
+"""Fault injection for cluster scenarios.
+
+Every failure mode the paper discusses, as one-line injections:
+
+* node crash / recovery (fail-stop, rejoin via 911 — paper §2.3);
+* cable unplug (the Rainwall fail-over experiment — paper §3.2);
+* pairwise link cut (the ABCD → ACD → ACBD example — paper §2.3);
+* partition / heal (split-brain and merge — paper §2.4);
+* token loss (direct injection for 911 recovery studies — paper §2.3);
+* failure-detector false alarm (wrongful removal — paper §2.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.states import NodeState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.harness import RaincoreCluster
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Mutates a :class:`RaincoreCluster`'s topology and nodes mid-run."""
+
+    def __init__(self, cluster: "RaincoreCluster") -> None:
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    # node faults
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: str) -> None:
+        """Fail-stop a node: protocol halts and its NICs go silent."""
+        self.cluster.node(node_id).crash()
+        self.cluster.topology.set_node_up(node_id, False)
+
+    def recover_node(self, node_id: str, contacts: list[str] | None = None) -> None:
+        """Restart a crashed node and have it rejoin via a 911."""
+        self.cluster.topology.set_node_up(node_id, True)
+        node = self.cluster.node(node_id)
+        if contacts is None:
+            contacts = [
+                n.node_id
+                for n in self.cluster.live_nodes()
+                if n.node_id != node_id
+            ]
+        if contacts:
+            node.start_joining(contacts)
+        else:
+            node.start_new_group()
+
+    # ------------------------------------------------------------------
+    # link faults
+    # ------------------------------------------------------------------
+    def unplug_cable(self, node_id: str, segment_index: int = 0) -> str:
+        """Unplug one NIC of a node (paper §3.2's benchmark fault).
+
+        Returns the affected address so the test can replug it.
+        """
+        addr = self.cluster.topology.addresses_of(node_id)[segment_index]
+        self.cluster.topology.set_nic_up(addr, False)
+        return addr
+
+    def replug_cable(self, address: str) -> None:
+        self.cluster.topology.set_nic_up(address, True)
+
+    def cut_link(self, node_a: str, node_b: str) -> None:
+        """Cut all paths between exactly two nodes (others unaffected)."""
+        self.cluster.topology.block_node_pair(node_a, node_b)
+
+    def restore_link(self, node_a: str, node_b: str) -> None:
+        self.cluster.topology.unblock_node_pair(node_a, node_b)
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def partition(self, *groups: list[str]) -> None:
+        """Split the cluster into isolated groups (split-brain injection)."""
+        self.cluster.topology.partition(list(groups))
+
+    def heal_partition(self) -> None:
+        self.cluster.topology.heal_partition()
+
+    # ------------------------------------------------------------------
+    # protocol-level faults
+    # ------------------------------------------------------------------
+    def lose_token(self) -> bool:
+        """Destroy the live token wherever it currently is.
+
+        Emulates the holder dying at the worst moment without actually
+        killing it: the holder silently forgets the token (its local copy
+        survives, as the paper's protocol requires).  Returns True if a
+        token was found and destroyed.  If the token is in flight (between
+        holders), nothing happens — call again after a small run.
+        """
+        for node in self.cluster.live_nodes():
+            if node.has_token:
+                token = node._live_token
+                node._live_token = None
+                # The holder believes it already forwarded: it waits HUNGRY
+                # like everyone else, with its local copy intact.
+                node._local_copy = token.copy()
+                node._cancel_timer("_forward_timer")
+                if node.state is NodeState.EATING:
+                    node._transition(NodeState.HUNGRY)
+                    node._arm_hungry_timer()
+                return True
+        return False
+
+    def false_alarm(self, accuser_id: str, victim_id: str) -> None:
+        """Inject a failure-detector false alarm: ``accuser`` wrongly
+        removes ``victim`` from its local copy of the ring next time it
+        holds the token.
+
+        Implemented as a transient link cut that heals immediately after
+        one token pass attempt, so the transport's failure-on-delivery
+        fires once — exactly a false alarm.
+        """
+        cluster = self.cluster
+        cluster.topology.block_node_pair(accuser_id, victim_id)
+        bound = cluster.config.transport.failure_detection_bound(
+            len(cluster.topology.addresses_of(accuser_id))
+        )
+        ring = max(1, len(cluster.node(accuser_id).members))
+        heal_after = bound + ring * cluster.config.hop_interval + 0.05
+        cluster.loop.call_later(
+            heal_after,
+            cluster.topology.unblock_node_pair,
+            accuser_id,
+            victim_id,
+        )

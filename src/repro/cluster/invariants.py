@@ -1,0 +1,136 @@
+"""Continuous invariant checking for simulated clusters.
+
+Tests usually assert invariants at the end of a scenario; this monitor
+checks them *during* the run, sampling on every simulation tick, so a
+transient violation (two tokens coexisting for a few milliseconds, a seq
+running backwards) cannot hide between assertions.
+
+Checked invariants (DESIGN.md §5):
+
+* **P1 token uniqueness (per group)** — at most one live token among the
+  holders of any one group (holders sharing a group id).  Split-brain
+  legitimately yields one token *per sub-group*; duplicates within a
+  group are the violation.  The known transient exception (a duplicate
+  born from total ack loss on a delivered forward, healed by the seq
+  guard) is *counted*, not failed, unless ``strict=True``; the window's
+  duration is bounded and reported.
+* **seq monotonicity** — no node's last-seen sequence ever decreases.
+* **state legality** — every node's state is a valid enum member and a
+  token holder is EATING.
+
+Usage::
+
+    monitor = InvariantMonitor(cluster, interval=0.001)
+    monitor.start()
+    ... run the scenario ...
+    monitor.assert_clean()        # or inspect .violations / .double_token_time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.states import NodeState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.harness import RaincoreCluster
+
+__all__ = ["InvariantMonitor", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    at: float
+    kind: str
+    detail: str
+
+
+@dataclass
+class InvariantMonitor:
+    """Samples cluster-wide invariants on a fixed virtual-time interval."""
+
+    cluster: "RaincoreCluster"
+    interval: float = 0.001
+    strict: bool = False  #: treat transient double tokens as violations
+    violations: list[Violation] = field(default_factory=list)
+    double_token_time: float = 0.0  #: cumulative seconds with >1 holder
+    samples: int = 0
+    _last_seqs: dict[str, int] = field(default_factory=dict)
+    _running: bool = False
+
+    def start(self) -> None:
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _arm(self) -> None:
+        self.cluster.loop.call_later(self.interval, self._sample)
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        now = self.cluster.loop.now
+        self.samples += 1
+        # A crashed node restarts with a fresh seq horizon: forget it while
+        # it is down so its rebirth is not misread as a seq regression.
+        live_ids = {n.node_id for n in self.cluster.live_nodes()}
+        for stale in set(self._last_seqs) - live_ids:
+            del self._last_seqs[stale]
+        # Group tokens by the holder's group identity: one token per
+        # sub-group is legitimate split-brain; two in one group is not.
+        holders_by_group: dict[str, list[str]] = {}
+        for node in self.cluster.live_nodes():
+            if node.has_token:
+                holders_by_group.setdefault(node.group_id, []).append(
+                    node.node_id
+                )
+        doubled = {g: hs for g, hs in holders_by_group.items() if len(hs) > 1}
+        if doubled:
+            self.double_token_time += self.interval
+            if self.strict:
+                self._flag(now, "token-uniqueness", f"holders={doubled}")
+        for node in self.cluster.live_nodes():
+            seq = node._last_seen_seq
+            prev = self._last_seqs.get(node.node_id)
+            # A node that restarted legitimately resets its seq horizon.
+            if prev is not None and seq < prev and node.state is not NodeState.JOINING:
+                self._flag(
+                    now,
+                    "seq-monotonicity",
+                    f"{node.node_id}: {prev} -> {seq}",
+                )
+            self._last_seqs[node.node_id] = seq
+            if node.has_token and node.state is not NodeState.EATING:
+                self._flag(
+                    now,
+                    "state-legality",
+                    f"{node.node_id} holds token in {node.state.value}",
+                )
+        self._arm()
+
+    def _flag(self, at: float, kind: str, detail: str) -> None:
+        self.violations.append(Violation(at, kind, detail))
+
+    # ------------------------------------------------------------------
+    def assert_clean(self, max_double_token_time: float = 0.0) -> None:
+        """Raise if any violation was observed.
+
+        ``max_double_token_time`` permits a bounded transient duplicate
+        window (non-strict mode); the FLP-grounded impossibility means 0 is
+        only achievable in fault-free or fail-stop-only runs.
+        """
+        if self.violations:
+            raise AssertionError(
+                f"{len(self.violations)} invariant violations; first: "
+                f"{self.violations[0]}"
+            )
+        if self.double_token_time > max_double_token_time:
+            raise AssertionError(
+                f"double-token time {self.double_token_time:.4f}s exceeds "
+                f"allowance {max_double_token_time:.4f}s"
+            )

@@ -1,0 +1,62 @@
+"""Ring-membership helpers shared by the session sub-protocols.
+
+The authoritative membership lives *on the token* (paper §2.2); each node
+additionally keeps a local view — the membership as of the last token it
+saw — used for 911 fan-out, BODYODOR targeting and application queries.
+These are pure functions over ring tuples so they are trivially testable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ring_successor",
+    "ring_predecessor",
+    "rotate_to",
+    "merge_rings",
+]
+
+
+def ring_successor(ring: tuple[str, ...], node_id: str) -> str:
+    """Next node after ``node_id`` in ring order (wrapping)."""
+    idx = ring.index(node_id)
+    return ring[(idx + 1) % len(ring)]
+
+
+def ring_predecessor(ring: tuple[str, ...], node_id: str) -> str:
+    """Node before ``node_id`` in ring order (wrapping)."""
+    idx = ring.index(node_id)
+    return ring[(idx - 1) % len(ring)]
+
+
+def rotate_to(ring: tuple[str, ...], head: str) -> tuple[str, ...]:
+    """Rotate the ring so it starts at ``head`` (same cyclic order)."""
+    idx = ring.index(head)
+    return ring[idx:] + ring[:idx]
+
+
+def merge_rings(
+    base: tuple[str, ...], joiner: str, other: tuple[str, ...]
+) -> tuple[str, ...]:
+    """Merge ``other``'s ring into ``base`` at ``joiner``'s position.
+
+    Used by the group-merge protocol (paper §2.4): ``base`` is the TBM
+    token's ring (the higher-group-id side, which already contains
+    ``joiner``); ``other`` is the joiner's own sub-group ring.  Members of
+    ``other`` not already in ``base`` are spliced in immediately after
+    ``joiner``, preserving their cyclic order starting from ``joiner`` —
+    so both rings' neighbour relationships survive the merge as much as
+    possible.
+    """
+    if joiner not in base:
+        raise ValueError(f"joiner {joiner!r} not in base ring")
+    present = set(base)
+    if joiner in other:
+        ordered_other = rotate_to(other, joiner)
+    else:  # pragma: no cover - defensive; joiner leads its own ring
+        ordered_other = other
+    to_insert = [m for m in ordered_other if m not in present]
+    merged = list(base)
+    at = merged.index(joiner) + 1
+    for offset, member in enumerate(to_insert):
+        merged.insert(at + offset, member)
+    return tuple(merged)

@@ -1,0 +1,300 @@
+"""Reliable atomic multicast over the token — paper §2.6.
+
+    "The token ring protocol also serves as a 'locomotive' for the reliable
+    multicast transport.  In other words, reliable multicast is achieved by
+    piggybacking the messages to the token, while the token traverses the
+    ring."
+
+Semantics implemented here (see DESIGN.md §6.2 for the bookkeeping scheme):
+
+* **Atomicity** — every message tracks the audience members that have not
+  yet received it; membership removals prune the set, so a message is
+  received by every *surviving* audience member or (if the whole audience
+  is gone) by none beyond those already reached.
+* **Agreed ordering** (free) — all nodes deliver all messages in token
+  attach order.  To keep the order uniform even when AGREED and SAFE
+  messages interleave, each node buffers received messages in a local hold
+  queue in token order and delivers only a deliverable *prefix*: an AGREED
+  message behind a not-yet-confirmed SAFE message waits for it (the same
+  discipline Totem uses).
+* **Safe ordering** (one extra token round, paper §2.6) — a SAFE message is
+  received by every audience member during its first round; the node that
+  observes the receipt set empty marks it CONFIRMED and re-arms the set,
+  and members deliver during the second round.
+
+Duplicate suppression by message uid makes delivery idempotent across 911
+token regeneration, which may legitimately replay a recent token state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.events import Delivery
+from repro.core.token import MSG_HEADER, Ordering, PiggybackedMessage, Token
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.session import RaincoreNode
+
+__all__ = ["MulticastService", "DeferredPayload"]
+
+#: Default modelled payload size when the payload has no length (bytes).
+DEFAULT_PAYLOAD_SIZE = 64
+
+#: Bound on remembered message uids for duplicate suppression.
+SEEN_WINDOW = 65536
+
+
+class DeferredPayload:
+    """A payload materialized at token-attach time.
+
+    The attach point *is* the message's position in the group's total
+    order, and by then this node has delivered every message ordered before
+    it.  A factory evaluated at attach therefore captures state consistent
+    with the message's position — which is exactly what replicated-state
+    snapshots (the Data Service's join-time state transfer) need.
+
+    ``factory`` returns ``(payload, size_in_bytes)``.
+    """
+
+    __slots__ = ("factory",)
+
+    def __init__(self, factory) -> None:
+        self.factory = factory
+
+
+@dataclass
+class _Held:
+    """A received message buffered locally until it is deliverable in order."""
+
+    uid: int
+    origin: str
+    msg_no: int
+    payload: object
+    ordering: Ordering
+    deliverable: bool
+
+
+class MulticastService:
+    """Per-node multicast send queue, receipt tracking and ordered delivery."""
+
+    def __init__(self, node: "RaincoreNode") -> None:
+        self.node = node
+        self._msg_no = itertools.count(1)
+        self._outbox: deque[PiggybackedMessage] = deque()
+        self._hold: deque[_Held] = deque()
+        self._seen: set[int] = set()
+        self._seen_fifo: deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    # public API (called by the application through RaincoreNode)
+    # ------------------------------------------------------------------
+    def multicast(
+        self,
+        payload: object,
+        size: int | None = None,
+        ordering: Ordering = Ordering.AGREED,
+    ) -> tuple[str, int]:
+        """Queue ``payload`` for reliable multicast to the group.
+
+        The message is attached to the token on this node's next visit.
+        Returns the multicast identity ``(origin, msg_no)``.  ``size`` is
+        the modelled wire size in bytes; defaults to ``len(payload)`` for
+        sized payloads, else ``DEFAULT_PAYLOAD_SIZE``.
+        """
+        if size is None:
+            try:
+                size = len(payload)  # type: ignore[arg-type]
+            except TypeError:
+                size = DEFAULT_PAYLOAD_SIZE
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        msg_no = next(self._msg_no)
+        msg = PiggybackedMessage(
+            origin=self.node.node_id,
+            msg_no=msg_no,
+            payload=payload,
+            size=size,
+            ordering=ordering,
+        )
+        self._outbox.append(msg)
+        self.node.stats.messages_multicast += 1
+        return (self.node.node_id, msg_no)
+
+    def outbox_depth(self) -> int:
+        """Messages queued locally, not yet attached to the token."""
+        return len(self._outbox)
+
+    def reset(self) -> None:
+        """Drop queued and held messages (node restart).
+
+        The duplicate-suppression window is kept: a rejoining incarnation
+        must still ignore replays of messages it received before the crash.
+        """
+        self._outbox.clear()
+        self._hold.clear()
+
+    # ------------------------------------------------------------------
+    # token-visit pipeline (called by RaincoreNode while EATING)
+    # ------------------------------------------------------------------
+    def on_token(self, token: Token) -> None:
+        """Process one token visit: receive, confirm/retire, deliver, attach.
+
+        Draining *before* the attach pass guarantees that a message attached
+        this visit is ordered after — and its :class:`DeferredPayload`
+        factory observes — every delivery that precedes it in the total
+        order.  A second drain delivers this node's own fresh messages.
+        """
+        self._receive_pass(token)
+        self._retire_pass(token)
+        self._drain_deliverable()
+        self._attach_pass(token)
+        self._drain_deliverable()
+
+    def _receive_pass(self, token: Token) -> None:
+        me = self.node.node_id
+        for msg in token.messages:
+            if me not in msg.pending:
+                # Not (or no longer) addressed to us this phase; but a SAFE
+                # message we already hold may have become confirmed.
+                if msg.confirmed:
+                    self._mark_confirmed(msg.uid)
+                continue
+            if msg.confirmed:
+                # SAFE phase 2: everyone has received it; deliverable now.
+                msg.pending.discard(me)
+                if not self._remember(msg.uid):
+                    self._mark_confirmed(msg.uid)
+                    continue
+                self._hold.append(
+                    _Held(msg.uid, msg.origin, msg.msg_no, msg.payload,
+                          msg.ordering, deliverable=True)
+                )
+                continue
+            # Phase 1 receipt (AGREED: also the delivery phase).
+            msg.pending.discard(me)
+            if not self._remember(msg.uid):
+                continue
+            self._hold.append(
+                _Held(
+                    msg.uid,
+                    msg.origin,
+                    msg.msg_no,
+                    msg.payload,
+                    msg.ordering,
+                    deliverable=(msg.ordering is Ordering.AGREED),
+                )
+            )
+
+    def _retire_pass(self, token: Token) -> None:
+        surviving: list[PiggybackedMessage] = []
+        current = set(token.membership)
+        for msg in token.messages:
+            if msg.pending:
+                surviving.append(msg)
+                continue
+            if msg.ordering is Ordering.AGREED:
+                continue  # fully received == fully delivered: retire
+            if not msg.confirmed:
+                # SAFE: first round complete — every audience member holds
+                # it.  Confirm and start the delivery round (paper: "the
+                # TOKEN travels one more round").
+                msg.confirmed = True
+                msg.pending = set(msg.audience) & current
+                if msg.pending:
+                    surviving.append(msg)
+                # An empty re-armed set means the whole audience is gone or
+                # it was a singleton self-delivery: retire immediately.
+                continue
+            # SAFE and confirmed with empty pending: second round done.
+        token.messages = surviving
+        # A confirmation produced above must be visible to this node's own
+        # hold queue too (it is an audience member like any other).
+        for msg in token.messages:
+            if msg.confirmed:
+                self._mark_confirmed_local_phase2(msg, token)
+
+    def _mark_confirmed_local_phase2(self, msg: PiggybackedMessage, token: Token) -> None:
+        me = self.node.node_id
+        if me in msg.pending:
+            # We have not run our phase-2 receipt for this message yet; the
+            # receive pass on a later visit handles it — except when the
+            # confirmation happened *at this very node*, in which case we
+            # take our phase-2 step now so delivery needs exactly one more
+            # round, not two.
+            msg.pending.discard(me)
+            self._mark_confirmed(msg.uid)
+
+    def _attach_pass(self, token: Token) -> None:
+        me = self.node.node_id
+        budget = self.node.config.max_batch_per_visit
+        byte_cap = self.node.config.max_token_bytes
+        members = set(token.membership)
+        while self._outbox and budget > 0:
+            # Flow control: never grow the token past the byte budget; the
+            # head message waits for a later (lighter) visit.  A single
+            # oversized message still attaches onto an otherwise-empty
+            # token rather than deadlocking.
+            head = self._outbox[0]
+            projected = token.wire_size() + MSG_HEADER + head.size
+            if projected > byte_cap and token.messages:
+                break
+            msg = self._outbox.popleft()
+            budget -= 1
+            if isinstance(msg.payload, DeferredPayload):
+                payload, size = msg.payload.factory()
+                msg.payload = payload
+                msg.size = size
+            msg.audience = frozenset(members)
+            msg.pending = set(members) - {me}
+            token.messages.append(msg)
+            # The originator receives its own message at attach time; this
+            # keeps local delivery order identical to token order.
+            self._remember(msg.uid)
+            self._hold.append(
+                _Held(
+                    msg.uid,
+                    msg.origin,
+                    msg.msg_no,
+                    msg.payload,
+                    msg.ordering,
+                    deliverable=(msg.ordering is Ordering.AGREED),
+                )
+            )
+            if msg.ordering is Ordering.SAFE and not msg.pending:
+                # Singleton group: received by all (just us); confirm now,
+                # deliver via phase 2 on the next self-visit.
+                msg.confirmed = True
+                msg.pending = {me}
+
+    # ------------------------------------------------------------------
+    # ordered local delivery
+    # ------------------------------------------------------------------
+    def _mark_confirmed(self, uid: int) -> None:
+        for held in self._hold:
+            if held.uid == uid:
+                held.deliverable = True
+                return
+
+    def _drain_deliverable(self) -> None:
+        listener = self.node.listener
+        now = self.node.loop.now
+        while self._hold and self._hold[0].deliverable:
+            held = self._hold.popleft()
+            self.node.stats.messages_delivered += 1
+            listener.on_deliver(
+                Delivery(held.origin, held.msg_no, held.payload, held.ordering, now)
+            )
+
+    def _remember(self, uid: int) -> bool:
+        """Record a uid; returns False when it was already seen (duplicate)."""
+        if uid in self._seen:
+            return False
+        self._seen.add(uid)
+        self._seen_fifo.append(uid)
+        if len(self._seen_fifo) > SEEN_WINDOW:
+            self._seen.discard(self._seen_fifo.popleft())
+        return True

@@ -1,0 +1,56 @@
+"""Mutual exclusion via the token — paper §2.7.
+
+    "Because of the uniqueness of the TOKEN, it guarantees that at most one
+    node can be in the EATING state at any time. ...  When a node is in the
+    EATING state, it is assured that no other node is EATING, and that its
+    change to global data is authoritative."
+
+The service exposes a queue of *critical sections*: callables executed the
+next time this node holds the token.  Because the token visits every node in
+ring order, the master lock is starvation-free — each node gets the token
+once per roundtrip (fairness, paper §2.7).  The 911 protocol makes the lock
+fault-tolerant: a token lost with its holder is regenerated, releasing the
+lock in bounded time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.session import RaincoreNode
+
+__all__ = ["MutexService"]
+
+
+class MutexService:
+    """Per-node critical-section scheduler backed by token possession."""
+
+    def __init__(self, node: "RaincoreNode") -> None:
+        self.node = node
+        self._queue: deque[Callable[[], None]] = deque()
+        self.sections_run = 0
+
+    def run_exclusive(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` while this node holds the token (EATING).
+
+        If the node is EATING right now the section runs immediately;
+        otherwise it is queued for the next token visit.  Sections queued
+        during a visit (including from inside another section) run in the
+        same visit, FIFO.
+        """
+        self._queue.append(fn)
+        if self.node.is_eating:
+            self.on_token()
+
+    def pending(self) -> int:
+        """Critical sections waiting for the token."""
+        return len(self._queue)
+
+    def on_token(self) -> None:
+        """Drain the critical-section queue; called while EATING."""
+        while self._queue:
+            fn = self._queue.popleft()
+            self.sections_run += 1
+            fn()

@@ -1,0 +1,103 @@
+"""Critical-resource monitoring — paper §2.4 (split-brain prevention) and
+§3.2 (Rainwall health monitoring).
+
+    "Another feature that Raincore offers is the ability to define critical
+    resources for each of the member nodes.  A node will shut down itself
+    when any of its critical resources becomes unavailable."
+
+A resource is a named health check polled on a timer.  When a check fails,
+the node shuts itself down (leaving the group), which both prevents
+split-brain (configure a common upstream resource: only the sub-group that
+still reaches it survives) and powers Rainwall's fail-away-from-sick-nodes
+behaviour (monitor applications, NICs, remote links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.session import RaincoreNode
+
+__all__ = ["CriticalResource", "ResourceMonitor"]
+
+
+@dataclass
+class CriticalResource:
+    """One named health check.
+
+    ``check`` returns True while the resource is healthy.  ``required``
+    consecutive failures trigger shutdown, so a single flaky probe does not
+    kill the node.
+    """
+
+    name: str
+    check: Callable[[], bool]
+    poll_interval: float = 0.100
+    required: int = 1
+    _failures: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.required < 1:
+            raise ValueError("required must be at least 1")
+
+
+class ResourceMonitor:
+    """Polls critical resources and shuts the node down on sustained failure."""
+
+    def __init__(self, node: "RaincoreNode") -> None:
+        self.node = node
+        self._resources: dict[str, CriticalResource] = {}
+        self._timers: dict[str, object] = {}
+        self._running = False
+
+    def add(self, resource: CriticalResource) -> None:
+        """Register a resource; starts polling immediately if running."""
+        if resource.name in self._resources:
+            raise ValueError(f"duplicate resource {resource.name!r}")
+        self._resources[resource.name] = resource
+        if self._running:
+            self._arm(resource)
+
+    def remove(self, name: str) -> None:
+        self._resources.pop(name, None)
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+
+    def resources(self) -> list[str]:
+        return list(self._resources)
+
+    def start(self) -> None:
+        self._running = True
+        for resource in self._resources.values():
+            self._arm(resource)
+
+    def stop(self) -> None:
+        self._running = False
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+    def _arm(self, resource: CriticalResource) -> None:
+        self._timers[resource.name] = self.node.loop.call_later(
+            resource.poll_interval, self._poll, resource.name
+        )
+
+    def _poll(self, name: str) -> None:
+        resource = self._resources.get(name)
+        if resource is None or not self._running:
+            return
+        if resource.check():
+            resource._failures = 0
+            self._arm(resource)
+            return
+        resource._failures += 1
+        if resource._failures >= resource.required:
+            self.stop()
+            self.node.shutdown(f"critical resource {name!r} unavailable")
+        else:
+            self._arm(resource)

@@ -1,0 +1,511 @@
+"""The Raincore Distributed Session Service node — paper §2.
+
+:class:`RaincoreNode` is the per-node protocol engine.  It owns the token
+state machine (HUNGRY/EATING/STARVING, paper §2.2) and composes the
+sub-protocols:
+
+* :class:`~repro.core.multicast.MulticastService` — reliable atomic
+  multicast with agreed/safe ordering (§2.6);
+* :class:`~repro.core.mutex.MutexService` — token-based mutual exclusion
+  (§2.7);
+* :class:`~repro.core.recovery.RecoveryProtocol` — the 911 token-recovery
+  and join protocol (§2.3);
+* :class:`~repro.core.merge.MergeProtocol` — split-brain discovery and
+  group merge (§2.4);
+* :class:`~repro.core.resources.ResourceMonitor` — critical-resource
+  self-shutdown (§2.4).
+
+Token acceptance guard
+----------------------
+A received non-TBM token is ignored unless its sequence number is strictly
+greater than the last sequence number this node has seen.  Together with the
+rule that every send increments the sequence number, this makes duplicate
+tokens (created by an ack lost on an otherwise-successful forward, i.e. a
+failure-detector false alarm) die at the first node that already saw the
+newer branch — the mechanism behind the paper's token-uniqueness argument.
+
+Task-switch accounting convention (paper §1, §4.1)
+--------------------------------------------------
+One task switch is charged per wakeup of the group-communication task: every
+received session-layer message and every GC timer expiry.  The token *hold*
+is not charged separately — the arrival wakeup covers the whole
+process-hold-forward sequence, matching the paper's count of **L** task
+switches per second for a token doing L roundtrips per second.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import RaincoreConfig
+from repro.core.events import SessionListener, ViewChange
+from repro.core.merge import MergeProtocol
+from repro.core.multicast import MulticastService
+from repro.core.mutex import MutexService
+from repro.core.recovery import RecoveryProtocol
+from repro.core.resources import ResourceMonitor
+from repro.core.states import VALID_TRANSITIONS, NodeState
+from repro.core.token import Ordering, Token
+from repro.core.opengroup import OpenGroupAck, OpenGroupMessage
+from repro.core.wire import BodyOdor, NineOneOne, NineOneOneReply
+from repro.net.datagram import DatagramNetwork
+from repro.net.eventloop import EventLoop
+from repro.transport.reliable import ReliableUnicast
+
+__all__ = ["RaincoreNode"]
+
+
+class RaincoreNode:
+    """One member (or prospective member) of a Raincore group.
+
+    Typical use::
+
+        node = RaincoreNode("A", loop, network)
+        node.start_new_group()          # first node bootstraps the group
+        ...
+        other = RaincoreNode("B", loop, network)
+        other.start_joining(["A"])      # everyone else joins via a 911
+
+        node.multicast(b"state update")            # agreed ordering
+        node.multicast(b"commit", ordering=Ordering.SAFE)
+        node.run_exclusive(lambda: ...)            # master-lock section
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        loop: EventLoop,
+        network: DatagramNetwork,
+        config: RaincoreConfig | None = None,
+        listener: SessionListener | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.loop = loop
+        self.network = network
+        self.config = config if config is not None else RaincoreConfig()
+        self.listener = listener if listener is not None else SessionListener()
+        self.stats = network.stats.for_node(node_id)
+
+        self.transport = ReliableUnicast(node_id, loop, network, self.config.transport)
+        self.transport.set_receiver(self._receive)
+
+        self.multicast_service = MulticastService(self)
+        self.mutex = MutexService(self)
+        self.recovery = RecoveryProtocol(self)
+        self.merge = MergeProtocol(self)
+        self.monitor = ResourceMonitor(self)
+
+        self.state: NodeState = NodeState.DOWN
+        self._live_token: Token | None = None
+        self._local_copy: Token | None = None
+        self._last_seen_seq: int = -1
+        self._members: tuple[str, ...] = ()
+        self._announced_view: tuple[str, ...] | None = None
+        self._hungry_timer = None
+        self._forward_timer = None
+        self._epoch = 0  # bumped on crash/shutdown to invalidate stale timers
+        self._leaving = False
+        self._drain_before_leave = False
+        self._open_group_seen: set[tuple[str, int]] = set()
+        self.shutdown_reason: str | None = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> tuple[str, ...]:
+        """Last known group membership (ring order)."""
+        return self._members
+
+    @property
+    def is_member(self) -> bool:
+        return self.node_id in self._members and self.state not in (
+            NodeState.DOWN,
+            NodeState.JOINING,
+        )
+
+    @property
+    def is_eating(self) -> bool:
+        return self.state is NodeState.EATING
+
+    @property
+    def group_id(self) -> str:
+        """Lowest member id — the group identity used by the merge protocol."""
+        if not self._members:
+            return self.node_id
+        return min(self._members)
+
+    @property
+    def local_copy(self) -> Token | None:
+        """This node's local copy of the token (made at each forward)."""
+        if self._live_token is not None:
+            return self._live_token
+        return self._local_copy
+
+    @property
+    def local_copy_seq(self) -> int:
+        copy = self.local_copy
+        return copy.seq if copy is not None else -1
+
+    @property
+    def has_token(self) -> bool:
+        return self._live_token is not None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_new_group(self) -> None:
+        """Bootstrap a new singleton group with this node as only member."""
+        if self.state is not NodeState.DOWN:
+            raise RuntimeError(f"{self.node_id}: already started ({self.state})")
+        self._reset_session_state()
+        self.transport.start()
+        self.merge.start()
+        self.monitor.start()
+        self._transition(NodeState.JOINING)
+        self._bootstrap_token()
+
+    def start_joining(self, contacts: list[str]) -> None:
+        """Join an existing group by sending a 911 to one of ``contacts``."""
+        if self.state is not NodeState.DOWN:
+            raise RuntimeError(f"{self.node_id}: already started ({self.state})")
+        self._reset_session_state()
+        self.transport.start()
+        self.merge.start()
+        self.monitor.start()
+        self._transition(NodeState.JOINING)
+        self.recovery.start_join(contacts)
+
+    def _reset_session_state(self) -> None:
+        self._live_token = None
+        self._local_copy = None
+        self._last_seen_seq = -1
+        self._members = ()
+        self._announced_view = None
+        self._leaving = False
+        self._drain_before_leave = False
+        self.shutdown_reason = None
+        # A restart is a new incarnation: drop work queued by the old one.
+        self.multicast_service.reset()
+        self.mutex._queue.clear()
+
+    def _bootstrap_token(self) -> None:
+        """Create the group's first token (also the fresh-bootstrap 911 path)."""
+        token = Token(seq=0, membership=(self.node_id,), view_id=0)
+        self._accept_token(token)
+
+    def shutdown(self, reason: str = "shutdown") -> None:
+        """Graceful-ish local stop: cease all protocol activity.
+
+        Peers detect us through failure-on-delivery on the next token pass.
+        Used for critical-resource self-shutdown (paper §2.4) and by fault
+        injection.
+        """
+        if self.state is NodeState.DOWN:
+            return
+        self.shutdown_reason = reason
+        self._teardown()
+        self.listener.on_shutdown(reason)
+
+    def crash(self) -> None:
+        """Fail-stop without any notification — fault injection."""
+        if self.state is NodeState.DOWN:
+            return
+        self.shutdown_reason = "crash"
+        self._teardown()
+
+    def _teardown(self) -> None:
+        self._epoch += 1
+        self.transport.stop()
+        self.merge.stop()
+        self.monitor.stop()
+        self.recovery.cancel_timers()
+        self._cancel_timer("_hungry_timer")
+        self._cancel_timer("_forward_timer")
+        self._live_token = None
+        self._transition(NodeState.DOWN)
+
+    def leave(self, drain: bool = False) -> None:
+        """Voluntarily leave the group: on the next token visit, remove
+        ourselves from the ring, forward the token, and shut down.
+
+        With ``drain=True`` departure waits until every queued multicast
+        has been attached to the token (a graceful flush): once attached,
+        messages complete delivery on their own because the pending sets
+        never include the departed originator.
+        """
+        self._leaving = True
+        self._drain_before_leave = drain
+        if self.is_eating:
+            if drain and self.multicast_service.outbox_depth() > 0:
+                return  # the in-progress visit (or the next) will flush
+            self._depart_with_token()
+
+    # ------------------------------------------------------------------
+    # public service API
+    # ------------------------------------------------------------------
+    def multicast(
+        self,
+        payload: object,
+        size: int | None = None,
+        ordering: Ordering = Ordering.AGREED,
+    ) -> tuple[str, int]:
+        """Reliably multicast ``payload`` to the group (paper §2.6).
+
+        Returns the multicast id ``(origin, msg_no)``.  The message rides
+        the token starting from this node's next visit.
+        """
+        if self.state is NodeState.DOWN:
+            raise RuntimeError(f"{self.node_id}: node is down")
+        return self.multicast_service.multicast(payload, size, ordering)
+
+    def run_exclusive(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` under the group master-lock (paper §2.7)."""
+        if self.state is NodeState.DOWN:
+            raise RuntimeError(f"{self.node_id}: node is down")
+        self.mutex.run_exclusive(fn)
+
+    def set_eligible(self, node_ids) -> None:
+        """Configure the Eligible Membership for discovery (paper §2.4)."""
+        self.merge.set_eligible(node_ids)
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+    def _transition(self, new: NodeState) -> None:
+        old = self.state
+        if old is new:
+            return
+        if new not in VALID_TRANSITIONS[old]:
+            raise AssertionError(
+                f"{self.node_id}: illegal transition {old.value} -> {new.value}"
+            )
+        self.state = new
+        self.listener.on_state_change(old, new)
+
+    def _arm_hungry_timer(self, timeout: float | None = None) -> None:
+        self._cancel_timer("_hungry_timer")
+        self._hungry_timer = self.loop.call_later(
+            timeout if timeout is not None else self.config.hungry_timeout,
+            self._on_hungry_timeout,
+            self._epoch,
+        )
+
+    def _cancel_timer(self, attr: str) -> None:
+        timer = getattr(self, attr)
+        if timer is not None:
+            timer.cancel()
+            setattr(self, attr, None)
+
+    def _on_hungry_timeout(self, epoch: int) -> None:
+        if epoch != self._epoch or self.state is not NodeState.HUNGRY:
+            return
+        self.stats.gc_wakeup(self.loop.now)
+        self.recovery.on_hungry_timeout()
+
+    # ------------------------------------------------------------------
+    # receive dispatch
+    # ------------------------------------------------------------------
+    def _receive(self, src_node: str, payload: object) -> None:
+        """Transport delivered a session-layer message: one GC wakeup."""
+        if self.state is NodeState.DOWN:
+            return
+        self.stats.gc_wakeup(self.loop.now)
+        if isinstance(payload, Token):
+            self._accept_token(payload, from_node=src_node)
+        elif isinstance(payload, NineOneOne):
+            self.recovery.handle_911(payload)
+        elif isinstance(payload, NineOneOneReply):
+            self.recovery.handle_reply(payload)
+        elif isinstance(payload, BodyOdor):
+            self.merge.handle_bodyodor(payload)
+        elif isinstance(payload, OpenGroupMessage):
+            self._handle_open_group(payload)
+        # Unknown payloads are dropped, as the session layer of a router
+        # must tolerate garbage.
+
+    def _handle_open_group(self, msg: OpenGroupMessage) -> None:
+        """Open group communication (paper §2.6): an outside node asked us
+        to forward its message to the whole group.
+
+        Per-contact dedup makes a retried injection at *this* member
+        idempotent; a client that fails over to a different contact after a
+        lost acceptance gets at-least-once semantics (documented in
+        :mod:`repro.core.opengroup`).
+        """
+        if not self.is_member:
+            return  # no ack: the client will try another contact
+        key = (msg.client, msg.client_msg_no)
+        if key not in self._open_group_seen:
+            self._open_group_seen.add(key)
+            ordering = Ordering.SAFE if msg.safe else Ordering.AGREED
+            self.multicast(msg.payload, size=msg.size, ordering=ordering)
+        self.transport.send(msg.client, OpenGroupAck(self.node_id, msg.client_msg_no))
+
+    # ------------------------------------------------------------------
+    # token handling
+    # ------------------------------------------------------------------
+    def _accept_token(self, token: Token, from_node: str | None = None) -> None:
+        if self.state is NodeState.DOWN:
+            return
+        if token.tbm and not token.has_member(self.node_id):
+            # Defensive: a TBM token must name us; otherwise ignore.
+            return
+        if token.tbm:
+            # A second TBM while one is held is dropped; the second
+            # initiator's group starves and recovers via the 911 protocol.
+            self.merge.handle_tbm(token)
+            return
+        if token.seq <= self._last_seen_seq:
+            # Stale duplicate (healed false alarm) or a token from another
+            # lineage whose seq space lags ours (concurrent merges).  The
+            # drop is deliberately SILENT: the stale branch of a false
+            # alarm must die here, and a genuinely separate group whose
+            # token lands on us recovers through its own HUNGRY timeout —
+            # its 911 round reaches us, we answer JOIN_PENDING, and the
+            # join/merge machinery absorbs it (the recovery protocol's
+            # abstention + escalation rules make that terminate; see
+            # docs/PROTOCOL.md §4.2).
+            return
+        if not token.has_member(self.node_id):
+            # We were removed while the token was in flight; we will starve
+            # and rejoin via the 911 protocol (paper §2.3).
+            return
+        self._last_seen_seq = token.seq
+        self._live_token = token
+        self.recovery.cancel_timers()
+        self._cancel_timer("_hungry_timer")
+        self._transition(NodeState.EATING)
+
+        if self.merge.holding_tbm:
+            # Our own token has arrived while we hold a TBM token: merge
+            # the two groups now (paper §2.4).
+            self._live_token = self.merge.merge_with_own(token)
+            self._last_seen_seq = self._live_token.seq
+
+        if self._leaving:
+            if (
+                self._drain_before_leave
+                and self.multicast_service.outbox_depth() > 0
+            ):
+                # Graceful drain: keep attaching (bounded per visit by the
+                # batch/byte budgets) and leave once the outbox is empty.
+                self._process_visit()
+                return
+            self._depart_with_token()
+            return
+
+        self._process_visit()
+
+    def _merge_now(self) -> None:
+        """Called by the merge protocol when a TBM arrives while EATING."""
+        if self._live_token is None:  # pragma: no cover - defensive
+            return
+        self._live_token = self.merge.merge_with_own(self._live_token)
+        self._last_seen_seq = self._live_token.seq
+        self._sync_membership(self._live_token)
+
+    def _process_visit(self) -> None:
+        """The full EATING pipeline for one token visit."""
+        token = self._live_token
+        assert token is not None
+        self._sync_membership(token)
+        self.recovery.on_token(token)  # apply queued joins
+        self.multicast_service.on_token(token)
+        self.mutex.on_token()
+        self._sync_membership(token)  # joins may have changed the view
+        # Hold the token for the hop interval, then forward (paper §2.2:
+        # "passed at a regular time interval").  The hold belongs to the
+        # arrival wakeup — no extra task switch is charged.
+        self._cancel_timer("_forward_timer")
+        self._forward_timer = self.loop.call_later(
+            self.config.hop_interval, self._forward_token, self._epoch
+        )
+
+    def _sync_membership(self, token: Token) -> None:
+        self._members = token.membership
+        if self._announced_view != token.membership:
+            self._announced_view = token.membership
+            self.listener.on_view_change(
+                ViewChange(token.view_id, token.membership, self.loop.now)
+            )
+
+    def _forward_token(self, epoch: int) -> None:
+        if epoch != self._epoch or self.state is not NodeState.EATING:
+            return
+        token = self._live_token
+        if token is None:  # pragma: no cover - defensive
+            return
+        override = self.merge.maybe_initiate(token)
+        if override is not None:
+            self._sync_membership(token)  # merge target was added to ring
+            target = override
+        else:
+            target = token.next_after(self.node_id)
+        self._send_token_to(target)
+
+    def _send_token_to(self, target: str) -> None:
+        token = self._live_token
+        assert token is not None
+        if target == self.node_id:
+            # Singleton ring: the token "circulates" on this node alone.
+            token.seq += 1
+            self._local_copy = token.copy()
+            self._live_token = None
+            self._transition(NodeState.HUNGRY)
+            self._arm_hungry_timer()
+            self.loop.call_later(0.0, self._accept_token, self._local_copy.copy())
+            return
+        token.seq += 1
+        sent = token  # the object travels; our copy is independent
+        self._local_copy = token.copy()
+        self._live_token = None
+        self._transition(NodeState.HUNGRY)
+        self._arm_hungry_timer()
+        seq = sent.seq
+        self.transport.send(
+            target,
+            sent,
+            on_result=lambda ok, t=target, s=seq: self._on_forward_result(t, s, ok),
+        )
+
+    def _on_forward_result(self, target: str, seq: int, ok: bool) -> None:
+        if ok or self.state is NodeState.DOWN:
+            return
+        if self._last_seen_seq >= seq:
+            # We have seen a newer token since; the ring moved on without
+            # our help (e.g. the "failed" forward actually arrived).
+            return
+        # Failure-on-delivery: aggressive failure detection (paper §2.2).
+        # Remove the dead neighbour and pass the token to the next healthy
+        # node, resuming from our local copy of exactly what we sent.
+        self.stats.gc_wakeup(self.loop.now)
+        copy = self._local_copy
+        if copy is None:  # pragma: no cover - defensive
+            return
+        token = copy.copy()
+        token.remove_member(target)
+        # If the failed neighbour was a merge target, the merge is off.
+        token.tbm = False
+        if not token.has_member(self.node_id):  # pragma: no cover - defensive
+            return
+        # Re-accept our own repaired token: seq equals what we sent, which
+        # passes the strictly-greater guard because _last_seen_seq still
+        # holds the seq at which we *received* it.
+        self._accept_token(token)
+
+    def _depart_with_token(self) -> None:
+        """Voluntary leave while EATING: hand the ring over and stop."""
+        token = self._live_token
+        assert token is not None
+        successor = token.next_after(self.node_id)
+        token.remove_member(self.node_id)
+        if successor == self.node_id or not token.membership:
+            # We were the last member; the group dissolves with us.
+            self._teardown()
+            return
+        token.seq += 1
+        self.transport.send(successor, token)
+        self._live_token = None
+        # Leave the epoch teardown to run after the send is queued.
+        self._teardown()

@@ -1,0 +1,201 @@
+"""The TOKEN and its piggybacked multicast messages (paper §2.2, §2.6).
+
+The TOKEN is simultaneously four things in Raincore:
+
+1. the carrier of the **authoritative group membership** (ring order);
+2. the **locomotive of reliable multicast** — application messages are
+   packed and attached to it;
+3. the **failure-detection probe** — the transport's failure-on-delivery
+   while forwarding it is what detects dead neighbours; and
+4. the **master lock** — holding it is the mutual-exclusion primitive.
+
+Wire-size modelling
+-------------------
+For the paper's §4.1 byte arithmetic we model: a fixed token header, 8 bytes
+per member id on the membership list, and per attached message a fixed
+header plus the payload size.  The ``pending`` / ``audience`` sets are
+*implementation bookkeeping* for atomicity tracking (DESIGN.md §6.2) and are
+not counted as wire bytes — the real protocol retires messages when the
+token returns to the originator and carries no such sets.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Ordering", "PiggybackedMessage", "Token", "TOKEN_HEADER", "MSG_HEADER"]
+
+#: Modelled fixed header of the token (seq, flags, counts).
+TOKEN_HEADER = 24
+#: Modelled per-member cost of the membership list on the wire.
+MEMBER_ENTRY = 8
+#: Modelled per-message header (origin, msg number, flags, length).
+MSG_HEADER = 16
+
+
+class Ordering(enum.Enum):
+    """Consistency levels for reliable multicast (paper §2.6).
+
+    ``AGREED`` — all nodes deliver all messages in the same (token) order;
+    achieved at no extra cost and delivered on first token sight.
+    ``SAFE`` — delivered only after every member has received the message;
+    costs one extra token round.
+    (Causal ordering is subsumed by agreed ordering in a single-token design,
+    so no separate level is needed.)
+    """
+
+    AGREED = "agreed"
+    SAFE = "safe"
+
+
+_msg_uid = itertools.count(1)
+
+
+@dataclass
+class PiggybackedMessage:
+    """One multicast message riding the token.
+
+    Attributes
+    ----------
+    origin, msg_no:
+        Identity of the multicast: per-origin sequence number.
+    payload:
+        Opaque application object.
+    size:
+        Modelled payload size in bytes.
+    ordering:
+        AGREED or SAFE.
+    audience:
+        Membership at attach time — the delivery view.  Atomicity (paper
+        §2.6) is "delivered at every member of the audience that survives,
+        or none".
+    pending:
+        Members of the audience that have not yet received (phase 1) or,
+        once ``confirmed``, not yet delivered (phase 2, SAFE only) the
+        message.  Pruned when members leave.
+    confirmed:
+        SAFE only: set when every audience member has received the message,
+        starting the delivery round.
+    uid:
+        Process-local unique id for tracing and tests; not on the wire.
+    """
+
+    origin: str
+    msg_no: int
+    payload: object
+    size: int
+    ordering: Ordering = Ordering.AGREED
+    audience: frozenset[str] = frozenset()
+    pending: set[str] = field(default_factory=set)
+    confirmed: bool = False
+    uid: int = field(default_factory=lambda: next(_msg_uid))
+
+    def wire_size(self) -> int:
+        return MSG_HEADER + self.size
+
+    def key(self) -> tuple[str, int]:
+        """Stable multicast identity ``(origin, msg_no)``."""
+        return (self.origin, self.msg_no)
+
+
+@dataclass
+class Token:
+    """The unique circulating TOKEN of one Raincore group.
+
+    ``seq`` increases by one on every hop; it arbitrates 911 regeneration
+    (paper §2.3) and lets receivers discard stale duplicate tokens.
+    ``membership`` is the authoritative ring order.  ``tbm`` marks a token
+    sent to another sub-group's contact node for merging (paper §2.4).
+    """
+
+    seq: int = 0
+    membership: tuple[str, ...] = ()
+    messages: list[PiggybackedMessage] = field(default_factory=list)
+    tbm: bool = False
+    view_id: int = 0  #: bumped on every membership change, for listeners
+
+    @property
+    def group_id(self) -> str:
+        """Group identity: the lowest node id in the membership (paper §2.4)."""
+        if not self.membership:
+            raise ValueError("token has empty membership")
+        return min(self.membership)
+
+    def wire_size(self) -> int:
+        return (
+            TOKEN_HEADER
+            + MEMBER_ENTRY * len(self.membership)
+            + sum(m.wire_size() for m in self.messages)
+        )
+
+    # ------------------------------------------------------------------
+    # membership editing (ring order preserved)
+    # ------------------------------------------------------------------
+    def has_member(self, node_id: str) -> bool:
+        return node_id in self.membership
+
+    def next_after(self, node_id: str) -> str:
+        """Ring successor of ``node_id``."""
+        ring = self.membership
+        idx = ring.index(node_id)
+        return ring[(idx + 1) % len(ring)]
+
+    def remove_member(self, node_id: str) -> None:
+        """Remove a (failed) member and prune it from all pending sets."""
+        if node_id not in self.membership:
+            return
+        self.membership = tuple(m for m in self.membership if m != node_id)
+        self.view_id += 1
+        for msg in self.messages:
+            msg.pending.discard(node_id)
+
+    def insert_after(self, anchor: str, node_id: str) -> None:
+        """Insert a joiner immediately after ``anchor`` in the ring.
+
+        This placement is what makes a broken link "naturally bypassed in
+        the new ring" in the paper's ABCD → ACD → ACBD example (§2.3).
+        """
+        if node_id in self.membership:
+            return
+        if anchor not in self.membership:
+            raise ValueError(f"anchor {anchor!r} not in membership")
+        ring = list(self.membership)
+        ring.insert(ring.index(anchor) + 1, node_id)
+        self.membership = tuple(ring)
+        self.view_id += 1
+
+    def copy(self) -> "Token":
+        """Deep-enough copy for a node's local TOKEN copy (paper §2.3).
+
+        Message payloads are shared (immutable by convention); pending sets
+        and the message list are copied so the local copy is unaffected by
+        the live token's further travel.
+        """
+        return Token(
+            seq=self.seq,
+            membership=self.membership,
+            messages=[
+                PiggybackedMessage(
+                    origin=m.origin,
+                    msg_no=m.msg_no,
+                    payload=m.payload,
+                    size=m.size,
+                    ordering=m.ordering,
+                    audience=m.audience,
+                    pending=set(m.pending),
+                    confirmed=m.confirmed,
+                    uid=m.uid,
+                )
+                for m in self.messages
+            ],
+            tbm=self.tbm,
+            view_id=self.view_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Token(seq={self.seq}, ring={'-'.join(self.membership)}, "
+            f"msgs={len(self.messages)}, tbm={self.tbm})"
+        )

@@ -1,0 +1,75 @@
+"""Control messages of the session layer: 911 and BODYODOR (paper §2.3–2.4).
+
+These are the only session-layer messages besides the TOKEN itself.  The 911
+message doubles as token-regeneration request and join request — the paper
+makes a point of this unification (§2.3): it is what lets wrongly-removed
+nodes and nodes behind broken links rejoin automatically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["NineOneOne", "NineOneOneReply", "ReplyVerdict", "BodyOdor"]
+
+#: Modelled wire sizes (bytes) of the small control messages.
+_CONTROL_SIZE = 32
+
+
+@dataclass(frozen=True)
+class NineOneOne:
+    """A 911 message: request to regenerate the token — or to join.
+
+    ``last_seq`` is the sequence number on the sender's last local copy of
+    the TOKEN; ``-1`` for a fresh node that has never held one.  ``round_id``
+    correlates replies to one STARVING episode so stale replies from an
+    earlier round are ignored.
+    """
+
+    sender: str
+    last_seq: int
+    round_id: int
+
+    def wire_size(self) -> int:
+        return _CONTROL_SIZE
+
+
+class ReplyVerdict(enum.Enum):
+    """Outcome of a 911 request at one receiver."""
+
+    GRANT = "grant"  #: receiver's copy is not newer and it has no token
+    DENY_HAVE_TOKEN = "deny_have_token"  #: receiver currently holds the token
+    DENY_NEWER_COPY = "deny_newer_copy"  #: receiver has a more recent copy
+    JOIN_PENDING = "join_pending"  #: sender is not a member; treated as join
+
+
+@dataclass(frozen=True)
+class NineOneOneReply:
+    """Reply to a 911 request."""
+
+    sender: str
+    round_id: int
+    verdict: ReplyVerdict
+    seq_seen: int  #: replier's local-copy seq (diagnostic / tie reasoning)
+
+    def wire_size(self) -> int:
+        return _CONTROL_SIZE
+
+
+@dataclass(frozen=True)
+class BodyOdor:
+    """Discovery beacon (paper §2.4).
+
+    Sent periodically by every healthy member to nodes that are in the
+    *Eligible Membership* but not in the current group membership.  Carries
+    the sender's id and its group id (lowest member id).  Treated as a join
+    request by the receiver iff the sender's group id is **lower** than the
+    receiver's — the deadlock-avoiding tie-break of the merge protocol.
+    """
+
+    sender: str
+    group_id: str
+
+    def wire_size(self) -> int:
+        return _CONTROL_SIZE

@@ -1,0 +1,30 @@
+"""Raincore Distributed Data Service (paper Fig. 2, §2.7, §5).
+
+Replicated shared state over the session service's agreed-ordered
+multicast: a distributed lock manager and a replicated dictionary — the
+building blocks the paper's applications (Virtual IP Manager, Rainwall)
+use to share assignment tables and load information.
+"""
+
+from repro.data.barrier import BarrierOp, DistributedBarrier
+from repro.data.lock_manager import DistributedLockManager, LockOp
+from repro.data.queue import QueueOp, ReplicatedQueue
+from repro.data.replica import ReplicaBase, SyncRequest
+from repro.data.rwlock import ReadWriteLockManager, RwOp
+from repro.data.shared_dict import DictOp, DictSnapshot, SharedDict
+
+__all__ = [
+    "BarrierOp",
+    "DistributedBarrier",
+    "DistributedLockManager",
+    "LockOp",
+    "QueueOp",
+    "ReplicatedQueue",
+    "ReplicaBase",
+    "SyncRequest",
+    "ReadWriteLockManager",
+    "RwOp",
+    "DictOp",
+    "DictSnapshot",
+    "SharedDict",
+]

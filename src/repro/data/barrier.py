@@ -1,0 +1,155 @@
+"""Distributed barrier — a Data Service coordination primitive.
+
+The paper's §5 ambition for the Data Service is to let developers build
+distributed networking applications "with the ease of developing a
+multi-thread shared-memory application on a single processor".  A barrier
+is the canonical such primitive; this one is built purely on the session
+service's agreed-ordered multicast, the same way as the lock manager.
+
+Semantics
+---------
+* ``wait(callback)`` enters the current barrier *generation*; the callback
+  fires once every expected participant has arrived.
+* The **expected set** of a generation is the group membership recorded on
+  the *first* arrival of that generation — the total order makes "first"
+  identical at every replica, so all replicas agree on who must show up.
+* Members that die while a generation is open are excluded via the same
+  lowest-id-survivor **purge** pattern the lock manager uses, so a crash
+  never wedges the barrier: it completes over the survivors.
+* Generations are numbered; arrivals for generation g+1 may be issued
+  before g completes (they queue in order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.events import Delivery, SessionListener, ViewChange, ensure_composite
+from repro.core.session import RaincoreNode
+
+__all__ = ["DistributedBarrier", "BarrierOp"]
+
+
+@dataclass(frozen=True)
+class BarrierOp:
+    """One replicated barrier operation: an arrival or a purge."""
+
+    kind: str  # "arrive" | "purge"
+    barrier: str
+    node: str  # arriving node / purged node
+    generation: int  # arrival's generation (0 for purge)
+    expected: tuple[str, ...] = ()  # membership snapshot on first arrival
+
+    def wire_size(self) -> int:
+        return 24 + len(self.barrier) + 8 * max(1, len(self.expected))
+
+
+@dataclass
+class _Generation:
+    expected: set[str] = field(default_factory=set)
+    arrived: set[str] = field(default_factory=set)
+    complete: bool = False
+
+
+class DistributedBarrier(SessionListener):
+    """A named, generation-counted, fault-tolerant group barrier."""
+
+    def __init__(self, node: RaincoreNode, name: str) -> None:
+        self.node = node
+        self.name = name
+        ensure_composite(node).add(self)
+        self._generations: dict[int, _Generation] = {}
+        self._my_generation = 0  # next generation this node will enter
+        self._callbacks: dict[int, Callable[[], None]] = {}
+        self._last_view: tuple[str, ...] = ()
+        self._purged_views: set[int] = set()
+        self.completions = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def wait(self, callback: Callable[[], None] | None = None) -> int:
+        """Enter the next barrier generation; returns its number.
+
+        ``callback`` fires on this node when the generation completes.
+        """
+        generation = self._my_generation
+        self._my_generation += 1
+        if callback is not None:
+            self._callbacks[generation] = callback
+        self.node.multicast(
+            BarrierOp(
+                "arrive",
+                self.name,
+                self.node.node_id,
+                generation,
+                tuple(self.node.members),
+            )
+        )
+        return generation
+
+    def generation_state(self, generation: int) -> tuple[set[str], set[str]]:
+        """(expected, arrived) for diagnostics; empty sets if unknown."""
+        gen = self._generations.get(generation)
+        if gen is None:
+            return set(), set()
+        return set(gen.expected), set(gen.arrived)
+
+    def is_complete(self, generation: int) -> bool:
+        gen = self._generations.get(generation)
+        return bool(gen and gen.complete)
+
+    # ------------------------------------------------------------------
+    # replicated state machine
+    # ------------------------------------------------------------------
+    def on_deliver(self, delivery: Delivery) -> None:
+        op = delivery.payload
+        if not isinstance(op, BarrierOp) or op.barrier != self.name:
+            return
+        if op.kind == "arrive":
+            self._apply_arrive(op)
+        elif op.kind == "purge":
+            self._apply_purge(op.node)
+
+    def _apply_arrive(self, op: BarrierOp) -> None:
+        gen = self._generations.get(op.generation)
+        if gen is None:
+            # First arrival defines who is expected (identical everywhere,
+            # because this op sits at one position in the total order).
+            gen = _Generation(expected=set(op.expected))
+            self._generations[op.generation] = gen
+        gen.arrived.add(op.node)
+        self._check(op.generation)
+
+    def _apply_purge(self, dead: str) -> None:
+        for generation, gen in self._generations.items():
+            if not gen.complete and dead in gen.expected:
+                gen.expected.discard(dead)
+                self._check(generation)
+
+    def _check(self, generation: int) -> None:
+        gen = self._generations[generation]
+        if gen.complete or not gen.expected <= gen.arrived:
+            return
+        gen.complete = True
+        self.completions += 1
+        callback = self._callbacks.pop(generation, None)
+        if callback is not None:
+            callback()
+
+    # ------------------------------------------------------------------
+    # failure handling (same pattern as the lock manager)
+    # ------------------------------------------------------------------
+    def on_view_change(self, view: ViewChange) -> None:
+        removed = set(self._last_view) - set(view.members)
+        self._last_view = view.members
+        if not removed or not view.members:
+            return
+        if self.node.node_id != min(view.members):
+            return
+        if view.view_id in self._purged_views:
+            return
+        self._purged_views.add(view.view_id)
+        for dead in sorted(removed):
+            self.node.multicast(BarrierOp("purge", self.name, dead, 0))

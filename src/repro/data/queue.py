@@ -1,0 +1,125 @@
+"""Replicated work queue — a Data Service distribution primitive.
+
+A FIFO queue whose pushes and pops are serialized by the group's
+agreed-ordered multicast: every replica applies the same operations in the
+same order, so an item is handed to **exactly one** popper even when many
+nodes pop concurrently — the token's total order is the arbitration, no
+extra locking needed.
+
+Semantics
+---------
+* ``push(item)`` appends; ``pop(callback)`` requests the next item.  Pops
+  queue FIFO when the queue is empty and are satisfied by later pushes.
+* An item is *consumed* at the instant its assignment op is delivered; if
+  the assignee crashes afterwards, the item is not re-queued (at-most-once
+  hand-off — re-execution semantics belong to the application, which can
+  re-push).  Pending pops of a dead node are dropped by the usual
+  lowest-id-survivor purge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.events import Delivery, SessionListener, ViewChange, ensure_composite
+from repro.core.session import RaincoreNode
+
+__all__ = ["ReplicatedQueue", "QueueOp"]
+
+
+@dataclass(frozen=True)
+class QueueOp:
+    """One replicated queue operation."""
+
+    kind: str  # "push" | "pop" | "purge"
+    queue: str
+    node: str  # pusher / popper / purged node
+    req_id: int  # pop correlation id (0 otherwise)
+    item: Any = None
+
+    def wire_size(self) -> int:
+        return 24 + len(self.queue)
+
+
+class ReplicatedQueue(SessionListener):
+    """A named, group-replicated FIFO with exactly-one hand-off."""
+
+    def __init__(self, node: RaincoreNode, name: str) -> None:
+        self.node = node
+        self.name = name
+        ensure_composite(node).add(self)
+        self._items: deque[Any] = deque()
+        self._waiters: deque[tuple[str, int]] = deque()
+        self._req_ids = itertools.count(1)
+        self._callbacks: dict[int, Callable[[Any], None]] = {}
+        self._last_view: tuple[str, ...] = ()
+        self._purged_views: set[int] = set()
+        self.assignments: list[tuple[str, Any]] = []  #: replicated hand-off log
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def push(self, item: Any) -> None:
+        """Append ``item`` for some member to pop."""
+        self.node.multicast(QueueOp("push", self.name, self.node.node_id, 0, item))
+
+    def pop(self, callback: Callable[[Any], None]) -> int:
+        """Request the next item; ``callback(item)`` fires on hand-off."""
+        req_id = next(self._req_ids)
+        self._callbacks[req_id] = callback
+        self.node.multicast(QueueOp("pop", self.name, self.node.node_id, req_id))
+        return req_id
+
+    def depth(self) -> int:
+        """Items currently unassigned in this replica's view."""
+        return len(self._items)
+
+    def waiting(self) -> int:
+        """Pop requests currently queued in this replica's view."""
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------
+    # replicated state machine
+    # ------------------------------------------------------------------
+    def on_deliver(self, delivery: Delivery) -> None:
+        op = delivery.payload
+        if not isinstance(op, QueueOp) or op.queue != self.name:
+            return
+        if op.kind == "push":
+            self._items.append(op.item)
+        elif op.kind == "pop":
+            self._waiters.append((op.node, op.req_id))
+        elif op.kind == "purge":
+            self._waiters = deque(
+                (n, r) for n, r in self._waiters if n != op.node
+            )
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._items and self._waiters:
+            item = self._items.popleft()
+            popper, req_id = self._waiters.popleft()
+            self.assignments.append((popper, item))
+            if popper == self.node.node_id:
+                callback = self._callbacks.pop(req_id, None)
+                if callback is not None:
+                    callback(item)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def on_view_change(self, view: ViewChange) -> None:
+        removed = set(self._last_view) - set(view.members)
+        self._last_view = view.members
+        if not removed or not view.members:
+            return
+        if self.node.node_id != min(view.members):
+            return
+        if view.view_id in self._purged_views:
+            return
+        self._purged_views.add(view.view_id)
+        for dead in sorted(removed):
+            self.node.multicast(QueueOp("purge", self.name, dead, 0))

@@ -1,0 +1,206 @@
+"""Replicated-state-machine base: op ordering, snapshots, anti-entropy.
+
+Every Data Service replica (shared dictionary, NAT table, …) follows the
+same discipline:
+
+* **ops** ride the agreed-ordered multicast and are applied identically by
+  every *synced* replica;
+* an **unsynced** replica (a joiner, or a member that never received its
+  state transfer before a partition) buffers ops and waits for a
+  **snapshot** — whose content is materialized at token-attach time so it
+  sits at a well-defined position in the total order; buffered (hence
+  earlier-ordered) ops are dropped when the snapshot arrives;
+* on every view **growth**, the lowest-id *synced* member multicasts a
+  snapshot (idempotent; no view-id dedup — ids collide across lineages);
+* **anti-entropy** (the part a first implementation gets wrong): an
+  unsynced member cannot rely on growth events alone — it periodically
+  multicasts a ``SyncRequest`` until synced, and every synced member
+  answers with a snapshot.  If *nobody* answers (the whole group is
+  unsynced — possible when a partition stranded everyone before their
+  state transfer), the lowest-id member declares its local state
+  authoritative after a few fruitless requests and snapshots it; the
+  group deterministically adopts that state.  Without this rule an
+  unsynced minimum-id member deadlocks the whole group's reconciliation
+  (found by randomized fuzzing; see docs/FINDINGS.md §4).
+
+Subclasses implement four hooks: :meth:`_is_op`, :meth:`_apply_op`,
+:meth:`_snapshot_payload`, :meth:`_install_snapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.events import Delivery, SessionListener, ViewChange, ensure_composite
+from repro.core.multicast import DeferredPayload
+from repro.core.session import RaincoreNode
+
+__all__ = ["ReplicaBase", "SyncRequest"]
+
+#: Fruitless sync requests before a minimum-id member self-declares.
+SELF_DECLARE_AFTER = 3
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """An unsynced replica asking the group for a state snapshot.
+
+    ``service`` namespaces the request so multiple replica services on one
+    group do not answer each other's requests.
+    """
+
+    service: str
+    requester: str
+
+    def wire_size(self) -> int:
+        return 16 + len(self.service)
+
+
+class ReplicaBase(SessionListener):
+    """Common machinery for group-replicated state machines."""
+
+    #: Subclasses set a unique name (namespaces snapshots/sync requests).
+    SERVICE: str = ""
+
+    def __init__(self, node: RaincoreNode) -> None:
+        if not self.SERVICE:
+            raise TypeError("subclass must set SERVICE")
+        self.node = node
+        ensure_composite(node).add(self)
+        self._synced: bool | None = None
+        self._buffer: list[Any] = []
+        self._last_view: tuple[str, ...] = ()
+        self._sync_requests_sent = 0
+        self._sync_timer = None
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def _is_op(self, payload: Any) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _apply_op(self, op: Any) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _snapshot_payload(self) -> Any:  # pragma: no cover - abstract
+        """Return the full-state snapshot object (materialized at attach)."""
+        raise NotImplementedError
+
+    def _install_snapshot(self, snap: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _is_snapshot(self, payload: Any) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @property
+    def synced(self) -> bool:
+        """False while this replica still awaits its state transfer."""
+        return bool(self._synced)
+
+    # ------------------------------------------------------------------
+    # replicated stream
+    # ------------------------------------------------------------------
+    def on_deliver(self, delivery: Delivery) -> None:
+        payload = delivery.payload
+        if self._is_snapshot(payload):
+            self._install_snapshot(payload)
+            if not self._synced:
+                self._synced = True
+                # Buffered ops are ordered before this snapshot: contained
+                # in it or reconciled away by design.  Never replay.
+                self._buffer.clear()
+                self._cancel_sync_timer()
+            return
+        if isinstance(payload, SyncRequest):
+            if (
+                payload.service == self.SERVICE
+                and self._synced
+                and payload.requester != self.node.node_id
+            ):
+                self._multicast_snapshot()
+            return
+        if not self._is_op(payload):
+            return
+        if not self._synced:
+            self._buffer.append(payload)
+            return
+        self._apply_op(payload)
+
+    def _multicast_snapshot(self) -> None:
+        def materialize():
+            snap = self._snapshot_payload()
+            size = getattr(snap, "wire_size", lambda: 64)()
+            return snap, size
+
+        self.node.multicast(DeferredPayload(materialize))
+
+    # ------------------------------------------------------------------
+    # membership handling
+    # ------------------------------------------------------------------
+    def on_view_change(self, view: ViewChange) -> None:
+        previous = self._last_view
+        self._last_view = view.members
+        if self._synced is None:
+            # Founding singleton: trivially synced (the group IS us).
+            self._synced = len(view.members) == 1
+        if not self._synced and len(view.members) == 1:
+            # We became a singleton group: our local state is, by
+            # definition, the whole group's state now.
+            self._synced = True
+            self._buffer.clear()
+            self._cancel_sync_timer()
+        if not self._synced:
+            self._arm_sync_timer()
+            return
+        added = set(view.members) - set(previous)
+        if not added or previous == ():
+            return
+        if self.node.node_id != min(view.members):
+            return
+        self._multicast_snapshot()
+
+    # ------------------------------------------------------------------
+    # anti-entropy for unsynced replicas
+    # ------------------------------------------------------------------
+    def _arm_sync_timer(self) -> None:
+        if self._sync_timer is not None:
+            return
+        self._sync_timer = self.node.loop.call_later(
+            2.0 * self.node.config.join_retry, self._sync_tick
+        )
+
+    def _cancel_sync_timer(self) -> None:
+        if self._sync_timer is not None:
+            self._sync_timer.cancel()
+            self._sync_timer = None
+        self._sync_requests_sent = 0
+
+    def _sync_tick(self) -> None:
+        from repro.core.states import NodeState
+
+        self._sync_timer = None
+        if self.node.state is NodeState.DOWN:
+            return  # a restart's first view change re-arms us
+        if self._synced or not self.node.is_member:
+            if not self._synced:
+                self._arm_sync_timer()  # not even a member yet; keep waiting
+            return
+        members = self.node.members
+        if (
+            self._sync_requests_sent >= SELF_DECLARE_AFTER
+            and members
+            and min(members) == self.node.node_id
+        ):
+            # Nobody in the group could answer: the whole group is
+            # unsynced.  As its minimum-id member, declare our local state
+            # authoritative and publish it — deterministic and terminal.
+            self._synced = True
+            self._buffer.clear()
+            self._sync_requests_sent = 0
+            self._multicast_snapshot()
+            return
+        self._sync_requests_sent += 1
+        self.node.multicast(SyncRequest(self.SERVICE, self.node.node_id))
+        self._arm_sync_timer()

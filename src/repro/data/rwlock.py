@@ -1,0 +1,193 @@
+"""Replicated read/write locks — shared data items with concurrent readers.
+
+The paper frames Data Service locks as "associated with one or more shared
+data items" (§2.7).  For read-mostly state (routing tables, policy
+configuration) exclusive locks serialize needlessly; this manager adds the
+standard shared/exclusive discipline on the same replicated-queue
+foundation as :class:`~repro.data.lock_manager.DistributedLockManager`:
+
+* any number of concurrent **readers**, or exactly one **writer**;
+* requests are granted in the token's total order (writer-fairness: a
+  waiting writer blocks later readers, so writers cannot starve);
+* dead holders are purged through the ordered stream by the lowest-id
+  survivor, promoting waiters deterministically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.events import Delivery, SessionListener, ViewChange, ensure_composite
+from repro.core.session import RaincoreNode
+
+__all__ = ["ReadWriteLockManager", "RwOp"]
+
+
+@dataclass(frozen=True)
+class RwOp:
+    """One replicated read/write-lock operation."""
+
+    kind: str  # "acquire" | "release" | "purge"
+    lock: str
+    mode: str  # "r" | "w" ("" for purge)
+    node: str
+    req_id: int
+
+    def wire_size(self) -> int:
+        return 24 + len(self.lock) + len(self.node)
+
+
+@dataclass
+class _RwState:
+    """holders = active grants; queue = waiting requests, FIFO."""
+
+    holders: dict[tuple[str, int], str] = field(default_factory=dict)  # -> mode
+    queue: deque = field(default_factory=deque)  # of (node, req_id, mode)
+
+    @property
+    def write_held(self) -> bool:
+        return any(m == "w" for m in self.holders.values())
+
+
+class ReadWriteLockManager(SessionListener):
+    """Named shared/exclusive locks over one Raincore group."""
+
+    def __init__(self, node: RaincoreNode) -> None:
+        self.node = node
+        ensure_composite(node).add(self)
+        self._locks: dict[str, _RwState] = {}
+        self._req_ids = itertools.count(1)
+        self._callbacks: dict[int, Callable[[], None]] = {}
+        self._mine: dict[tuple[str, str], int] = {}  # (lock, mode) -> req_id
+        self._last_view: tuple[str, ...] = ()
+        self._purged: set[tuple[str, int]] = set()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def acquire_read(self, lock: str, on_granted: Callable[[], None] | None = None) -> int:
+        """Request a shared grant on ``lock``."""
+        return self._acquire(lock, "r", on_granted)
+
+    def acquire_write(self, lock: str, on_granted: Callable[[], None] | None = None) -> int:
+        """Request an exclusive grant on ``lock``."""
+        return self._acquire(lock, "w", on_granted)
+
+    def _acquire(self, lock: str, mode: str, on_granted) -> int:
+        key = (lock, mode)
+        if key in self._mine:
+            raise RuntimeError(
+                f"{self.node.node_id}: already holding/waiting {mode!r} on {lock!r}"
+            )
+        req_id = next(self._req_ids)
+        self._mine[key] = req_id
+        if on_granted is not None:
+            self._callbacks[req_id] = on_granted
+        self.node.multicast(RwOp("acquire", lock, mode, self.node.node_id, req_id))
+        return req_id
+
+    def release(self, lock: str, mode: str) -> None:
+        """Release this node's grant (or queued request) of ``mode``."""
+        key = (lock, mode)
+        if key not in self._mine:
+            raise RuntimeError(f"{self.node.node_id}: no {mode!r} hold on {lock!r}")
+        req_id = self._mine.pop(key)
+        self._callbacks.pop(req_id, None)
+        self.node.multicast(RwOp("release", lock, mode, self.node.node_id, req_id))
+
+    def readers(self, lock: str) -> list[str]:
+        state = self._locks.get(lock)
+        if state is None:
+            return []
+        return sorted(n for (n, _), m in state.holders.items() if m == "r")
+
+    def writer(self, lock: str) -> str | None:
+        state = self._locks.get(lock)
+        if state is None:
+            return None
+        for (n, _), m in state.holders.items():
+            if m == "w":
+                return n
+        return None
+
+    def waiting(self, lock: str) -> int:
+        state = self._locks.get(lock)
+        return len(state.queue) if state else 0
+
+    # ------------------------------------------------------------------
+    # replicated state machine
+    # ------------------------------------------------------------------
+    def on_deliver(self, delivery: Delivery) -> None:
+        op = delivery.payload
+        if not isinstance(op, RwOp):
+            return
+        if op.kind == "acquire":
+            state = self._locks.setdefault(op.lock, _RwState())
+            state.queue.append((op.node, op.req_id, op.mode))
+            self._promote(op.lock)
+        elif op.kind == "release":
+            state = self._locks.get(op.lock)
+            if state is None:
+                return
+            if state.holders.pop((op.node, op.req_id), None) is None:
+                # Withdrawing a queued request.
+                state.queue = deque(
+                    e for e in state.queue if e[:2] != (op.node, op.req_id)
+                )
+            self._promote(op.lock)
+        elif op.kind == "purge":
+            self._purge(op.node)
+
+    def _promote(self, lock: str) -> None:
+        """Grant the FIFO-eligible prefix of the wait queue.
+
+        A writer at the head waits for all holders to clear, then enters
+        alone; readers at the head enter together until the first waiting
+        writer (writer-fairness).
+        """
+        state = self._locks[lock]
+        while state.queue:
+            node, req_id, mode = state.queue[0]
+            if mode == "w":
+                if state.holders:
+                    return
+            else:
+                if state.write_held:
+                    return
+            state.queue.popleft()
+            state.holders[(node, req_id)] = mode
+            self._granted(node, req_id)
+            if mode == "w":
+                return
+
+    def _purge(self, dead: str) -> None:
+        for lock, state in self._locks.items():
+            state.holders = {
+                k: m for k, m in state.holders.items() if k[0] != dead
+            }
+            state.queue = deque(e for e in state.queue if e[0] != dead)
+            self._promote(lock)
+
+    def _granted(self, node: str, req_id: int) -> None:
+        if node == self.node.node_id:
+            callback = self._callbacks.pop(req_id, None)
+            if callback is not None:
+                callback()
+
+    # ------------------------------------------------------------------
+    def on_view_change(self, view: ViewChange) -> None:
+        removed = set(self._last_view) - set(view.members)
+        self._last_view = view.members
+        if not removed or not view.members:
+            return
+        if self.node.node_id != min(view.members):
+            return
+        for dead in sorted(removed):
+            key = (dead, view.view_id)
+            if key in self._purged:
+                continue
+            self._purged.add(key)
+            self.node.multicast(RwOp("purge", "", "", dead, 0))

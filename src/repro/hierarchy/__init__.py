@@ -1,0 +1,17 @@
+"""Hierarchical Raincore — the scalability extension of paper §5.
+
+Sub-group token rings bridged by a leaders' ring, giving O(sqrt(N)) token
+latency at N nodes while keeping every ring small enough for fast failure
+detection.  Built entirely from unmodified session-service nodes.
+"""
+
+from repro.hierarchy.cluster import HierarchicalCluster
+from repro.hierarchy.relay import GlobalFwd, GlobalIn, GlobalOut, HierarchicalMember
+
+__all__ = [
+    "HierarchicalCluster",
+    "HierarchicalMember",
+    "GlobalFwd",
+    "GlobalIn",
+    "GlobalOut",
+]

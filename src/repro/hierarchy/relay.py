@@ -1,0 +1,239 @@
+"""Global-multicast relay envelopes and per-member logic for the
+hierarchical extension (paper §5, first future-work item:
+
+    "The Group Communication Protocols are being extended to address more
+    challenging scenarios.  For example, we are currently working on the
+    hierarchical design that extends the scalability of the protocol.")
+
+Two planes of the *unchanged* Raincore protocol:
+
+* every node is a member of one **local ring** (its sub-group);
+* the current **leader** of each sub-group (lowest live member id) also
+  runs a second session node in the **top ring** that connects the
+  sub-groups.
+
+A *global* multicast travels origin → local ring (``GlobalOut``) → origin's
+leader → top ring (``GlobalFwd``) → every leader → its local ring
+(``GlobalIn``) → every node.  Delivery happens **only** from the
+``GlobalIn`` re-injection — including at the origin's own sub-group — so
+the top ring's token order becomes the single global order every node
+observes.  Leaders re-inject in top-token order, local rings preserve each
+injector's FIFO, hence all nodes deliver global messages identically.
+
+Leadership is failure-driven: when a sub-group's view changes, its lowest
+surviving member activates its (pre-provisioned, idle) top-plane node,
+which joins the top ring via the standard 911 join; a dead leader's
+top-plane node is removed by the top ring's own aggressive failure
+detection.  Duplicate forwarding across a leadership change is possible
+(at-least-once relay) and suppressed by per-message uid at delivery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.events import Delivery, SessionListener, ViewChange, ensure_composite
+from repro.core.session import RaincoreNode
+
+__all__ = ["GlobalOut", "GlobalFwd", "GlobalIn", "HierarchicalMember"]
+
+
+@dataclass(frozen=True)
+class GlobalOut:
+    """Local-plane envelope: origin asks its leader to forward globally."""
+
+    origin: str
+    uid: tuple[str, int]
+    payload: Any
+    size: int
+
+    def wire_size(self) -> int:
+        return 24 + self.size
+
+
+@dataclass(frozen=True)
+class GlobalFwd:
+    """Top-plane envelope: a leader carries the message between sub-groups."""
+
+    group: str
+    origin: str
+    uid: tuple[str, int]
+    payload: Any
+    size: int
+
+    def wire_size(self) -> int:
+        return 32 + self.size
+
+
+@dataclass(frozen=True)
+class GlobalIn:
+    """Local-plane envelope: a leader re-injects a global message."""
+
+    origin: str
+    uid: tuple[str, int]
+    payload: Any
+    size: int
+
+    def wire_size(self) -> int:
+        return 24 + self.size
+
+
+#: Delivery callback: (origin node id, payload, scope "local" | "global").
+HierDeliver = Callable[[str, Any, str], None]
+
+
+class HierarchicalMember(SessionListener):
+    """One machine's presence in the hierarchy.
+
+    Wraps the machine's local-ring :class:`RaincoreNode` and, when this
+    machine is its sub-group's leader, an activated top-ring node.  The
+    top-plane node object is pre-provisioned for every member (any member
+    may become leader) but only started on leadership.
+    """
+
+    def __init__(
+        self,
+        local: RaincoreNode,
+        top: RaincoreNode,
+        top_contacts: list[str],
+        deliver: HierDeliver | None = None,
+    ) -> None:
+        self.local = local
+        self.top = top
+        self.top_contacts = [c for c in top_contacts if c != top.node_id]
+        self.deliver = deliver
+        self._uids = itertools.count(1)
+        self._forwarded: set[tuple[str, int]] = set()
+        self._delivered_global: set[tuple[str, int]] = set()
+        # Relay reliability across leadership changes: every member
+        # remembers in-flight GlobalOuts until it sees the GlobalIn echo;
+        # a member that *becomes* leader re-forwards whatever is left.
+        self._seen_out: dict[tuple[str, int], GlobalOut] = {}
+        ensure_composite(local).add(self)
+        ensure_composite(top).add(_TopRelay(self))
+        self.globals_forwarded = 0
+        self.globals_reinjected = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> str:
+        return self.local.node_id
+
+    @property
+    def is_leader(self) -> bool:
+        members = self.local.members
+        return bool(members) and min(members) == self.local.node_id
+
+    @property
+    def top_active(self) -> bool:
+        return self.top.state.value != "down"
+
+    def multicast_local(self, payload: Any, size: int = 64) -> None:
+        """Sub-group-scoped multicast: one local token ride, cheap."""
+        self.local.multicast(payload, size=size)
+
+    def multicast_global(self, payload: Any, size: int = 64) -> tuple[str, int]:
+        """Cluster-wide multicast, totally ordered by the top ring."""
+        uid = (self.local.node_id, next(self._uids))
+        self.local.multicast(
+            GlobalOut(self.local.node_id, uid, payload, size), size=size + 24
+        )
+        return uid
+
+    # ------------------------------------------------------------------
+    # local-plane events
+    # ------------------------------------------------------------------
+    def on_deliver(self, delivery: Delivery) -> None:
+        payload = delivery.payload
+        if isinstance(payload, GlobalOut):
+            self._seen_out[payload.uid] = payload
+            self._maybe_forward(payload)
+        elif isinstance(payload, GlobalIn):
+            self._seen_out.pop(payload.uid, None)
+            self._deliver_global(payload)
+        else:
+            if self.deliver is not None:
+                self.deliver(delivery.origin, payload, "local")
+
+    def _maybe_forward(self, msg: GlobalOut) -> None:
+        # Every member sees the GlobalOut; only the current leader relays,
+        # and only while its top-plane presence is live — otherwise the
+        # message stays in _seen_out and is flushed on (re)activation.
+        if not self.is_leader or not self.top.is_member:
+            return
+        if msg.uid in self._forwarded:
+            return
+        self._forwarded.add(msg.uid)
+        self.globals_forwarded += 1
+        self.top.multicast(
+            GlobalFwd(self.local.group_id, msg.origin, msg.uid, msg.payload, msg.size),
+            size=msg.size + 32,
+        )
+
+    def _flush_pending_out(self) -> None:
+        """(Re)forward every in-flight global we have not seen echoed."""
+        for msg in list(self._seen_out.values()):
+            self._maybe_forward(msg)
+
+    def _deliver_global(self, msg: GlobalIn) -> None:
+        if msg.uid in self._delivered_global:
+            return
+        self._delivered_global.add(msg.uid)
+        if self.deliver is not None:
+            self.deliver(msg.origin, msg.payload, "global")
+
+    # ------------------------------------------------------------------
+    # leadership management
+    # ------------------------------------------------------------------
+    def on_view_change(self, view: ViewChange) -> None:
+        if not view.members:
+            return
+        if min(view.members) == self.local.node_id:
+            if not self.top_active:
+                # We just became leader: activate our top-plane presence.
+                if self.top_contacts:
+                    self.top.start_joining(list(self.top_contacts))
+                else:
+                    self.top.start_new_group()
+            self._flush_pending_out()
+        elif self.top_active:
+            # Lost leadership (e.g. a lower-id member rejoined or merged
+            # in): retire from the top ring.
+            self.top.leave()
+
+    # ------------------------------------------------------------------
+    # top-plane re-injection (called by _TopRelay)
+    # ------------------------------------------------------------------
+    def _reinject(self, msg: GlobalFwd) -> None:
+        if not self.is_leader:
+            return  # a newer leader will re-inject it
+        self.globals_reinjected += 1
+        self.local.multicast(
+            GlobalIn(msg.origin, msg.uid, msg.payload, msg.size), size=msg.size + 24
+        )
+
+
+class _TopRelay(SessionListener):
+    """Top-plane listener: hands forwarded globals back to the member."""
+
+    def __init__(self, member: HierarchicalMember) -> None:
+        self.member = member
+        self._reinjected: set[tuple[str, int]] = set()
+
+    def on_view_change(self, view) -> None:
+        # Top-plane membership reached (or changed): flush any globals that
+        # queued up while our top presence was still joining.
+        self.member._flush_pending_out()
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        payload = delivery.payload
+        if not isinstance(payload, GlobalFwd):
+            return
+        if payload.uid in self._reinjected:
+            return
+        self._reinjected.add(payload.uid)
+        self.member._reinject(payload)

@@ -1,0 +1,105 @@
+"""Post-run analysis helpers over cluster observations.
+
+The tests and benchmarks repeatedly compute the same derived quantities
+from :class:`~repro.core.events.RecordingListener` data — delivery spreads,
+order-consistency checks, duplicate scans, view churn.  This module is the
+shared, public home for those computations so downstream users analyze
+their own scenarios the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.harness import RaincoreCluster
+
+__all__ = [
+    "Stats",
+    "summarize",
+    "delivery_spreads",
+    "prefix_consistency_violations",
+    "duplicate_deliveries",
+    "view_change_counts",
+]
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary statistics of one sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def empty(cls) -> "Stats":
+        return cls(0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize(samples: Sequence[float]) -> Stats:
+    """Count/mean/median/p95/max of a sample list."""
+    if not samples:
+        return Stats.empty()
+    ordered = sorted(samples)
+    n = len(ordered)
+    return Stats(
+        count=n,
+        mean=sum(ordered) / n,
+        p50=ordered[n // 2],
+        p95=ordered[min(n - 1, int(0.95 * n))],
+        max=ordered[-1],
+    )
+
+
+def delivery_spreads(cluster: "RaincoreCluster") -> Stats:
+    """Per-message delivery spread: last-delivery minus first-delivery time
+    across nodes.  The spread of an agreed multicast is bounded by one ring
+    traversal; growth beyond that signals retransmission storms or churn.
+    """
+    first: dict[tuple[str, int], float] = {}
+    last: dict[tuple[str, int], float] = {}
+    for cn in cluster.nodes.values():
+        for d in cn.listener.deliveries:
+            key = (d.origin, d.msg_no)
+            first[key] = min(first.get(key, d.at), d.at)
+            last[key] = max(last.get(key, d.at), d.at)
+    return summarize([last[k] - first[k] for k in first])
+
+
+def prefix_consistency_violations(
+    orders: dict[str, list[tuple[str, int]]]
+) -> list[tuple[str, str]]:
+    """Pairs of nodes whose delivery orders disagree on common messages.
+
+    Empty list = the agreed-ordering property (DESIGN.md P5) holds for
+    this run.
+    """
+    violations: list[tuple[str, str]] = []
+    items = list(orders.items())
+    for i, (node_a, order_a) in enumerate(items):
+        set_a = set(order_a)
+        for node_b, order_b in items[i + 1:]:
+            common = set_a & set(order_b)
+            fa = [k for k in order_a if k in common]
+            fb = [k for k in order_b if k in common]
+            if fa != fb:
+                violations.append((node_a, node_b))
+    return violations
+
+
+def duplicate_deliveries(cluster: "RaincoreCluster") -> dict[str, int]:
+    """Node id → number of duplicated deliveries (should be all zero)."""
+    out: dict[str, int] = {}
+    for nid, cn in cluster.nodes.items():
+        keys = cn.listener.delivery_keys
+        out[nid] = len(keys) - len(set(keys))
+    return out
+
+
+def view_change_counts(cluster: "RaincoreCluster") -> dict[str, int]:
+    """Node id → observed view changes (membership churn indicator)."""
+    return {nid: len(cn.listener.views) for nid, cn in cluster.nodes.items()}

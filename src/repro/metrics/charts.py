@@ -1,0 +1,49 @@
+"""ASCII bar charts — terminal rendering of the paper's Figure 3.
+
+The paper's single figure is a bar chart of Rainwall throughput vs cluster
+size.  :func:`bar_chart` reproduces it in fixed-width text so the benchmark
+output and the CLI can show the *figure*, not just the table, with no
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bar_chart"]
+
+
+def bar_chart(
+    title: str,
+    labels: list[str],
+    values: list[float],
+    *,
+    width: int = 50,
+    unit: str = "",
+    reference: dict[str, float] | None = None,
+) -> str:
+    """Render horizontal bars scaled to ``width`` characters.
+
+    ``reference`` optionally adds a second, hollow bar per label (the
+    paper's numbers next to ours).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return title + "\n(no data)"
+    peak = max(
+        list(values)
+        + (list(reference.values()) if reference else [])
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(str(l)) for l in labels)
+    if reference:
+        label_w = max(label_w, max(len(f"{l} (ref)") for l in reference))
+    lines = [title, "=" * len(title)]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(f"{label!s:>{label_w}} | {bar} {value:,.1f}{unit}")
+        if reference and label in reference:
+            ref = reference[label]
+            hollow = "." * max(1, round(ref / peak * width))
+            lines.append(f"{f'{label} (ref)':>{label_w}} | {hollow} {ref:,.1f}{unit}")
+    return "\n".join(lines)

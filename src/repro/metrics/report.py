@@ -1,0 +1,87 @@
+"""Experiment reporting: fixed-width and markdown tables for the benchmarks.
+
+Every benchmark in ``benchmarks/`` reproduces one table or figure of the
+paper (DESIGN.md §4) and prints its rows through these helpers, so the
+output format is uniform and EXPERIMENTS.md can be assembled by copy-paste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "fmt", "ratio"]
+
+
+def fmt(value, precision: int = 2) -> str:
+    """Human formatting: ints plain, floats to ``precision``, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}f}"
+    return str(value)
+
+
+def ratio(a: float, b: float) -> float | None:
+    """Safe a/b for speedup columns."""
+    return a / b if b else None
+
+
+@dataclass
+class Table:
+    """A titled result table with fixed-width and markdown rendering."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    def _formatted(self) -> list[list[str]]:
+        return [[fmt(c) for c in row] for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width console rendering."""
+        rows = self._formatted()
+        widths = [
+            max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        rows = self._formatted()
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors render()
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,184 @@
+"""Protocol event tracing: record and render what the cluster did.
+
+Distributed protocols are debugged with timelines.  :class:`TraceRecorder`
+hooks a :class:`~repro.cluster.harness.RaincoreCluster` (listeners on every
+node plus the network's wiretap) and records a single time-ordered event
+log: state transitions, view changes, deliveries, shutdowns and token
+hand-offs.  :func:`render_timeline` prints it as an ASCII table — the
+output the examples and bug reports are written around.
+
+Usage::
+
+    cluster = RaincoreCluster(["A", "B", "C"], seed=1)
+    trace = TraceRecorder(cluster)
+    cluster.start_all()
+    ...
+    print(trace.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.events import Delivery, SessionListener, ViewChange
+from repro.core.token import Token
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.harness import RaincoreCluster
+
+__all__ = ["TraceEvent", "TraceRecorder", "render_timeline", "render_swimlanes"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    at: float
+    node: str
+    kind: str  # state | view | deliver | shutdown | token
+    detail: str
+
+
+class _NodeTracer(SessionListener):
+    def __init__(self, recorder: "TraceRecorder", node_id: str) -> None:
+        self.recorder = recorder
+        self.node_id = node_id
+
+    def on_state_change(self, old, new) -> None:
+        self.recorder._record(self.node_id, "state", f"{old.value} -> {new.value}")
+
+    def on_view_change(self, view: ViewChange) -> None:
+        self.recorder._record(
+            self.node_id, "view", f"v{view.view_id}: {'-'.join(view.members)}"
+        )
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        self.recorder._record(
+            self.node_id,
+            "deliver",
+            f"{delivery.origin}#{delivery.msg_no} ({delivery.ordering.value})",
+        )
+
+    def on_shutdown(self, reason: str) -> None:
+        self.recorder._record(self.node_id, "shutdown", reason)
+
+
+class TraceRecorder:
+    """Attach to a cluster and collect a unified, time-ordered event log."""
+
+    def __init__(
+        self,
+        cluster: "RaincoreCluster",
+        *,
+        trace_tokens: bool = True,
+        trace_deliveries: bool = True,
+        max_events: int = 100_000,
+    ) -> None:
+        from repro.core.events import ensure_composite
+
+        self.cluster = cluster
+        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self._trace_deliveries = trace_deliveries
+        for node_id in cluster.node_ids:
+            tracer = _NodeTracer(self, node_id)
+            if not trace_deliveries:
+                tracer.on_deliver = lambda d: None  # type: ignore[method-assign]
+            ensure_composite(cluster.node(node_id)).add(tracer)
+        if trace_tokens:
+            previous = cluster.network.trace
+
+            def tap(packet, sent_ok):
+                if previous is not None:
+                    previous(packet, sent_ok)
+                frame = packet.payload
+                payload = getattr(frame, "payload", None)
+                if isinstance(payload, Token):
+                    src = cluster.topology.owner_of(packet.src)
+                    dst = cluster.topology.owner_of(packet.dst)
+                    self._record(
+                        src,
+                        "token",
+                        f"seq={payload.seq} -> {dst}"
+                        + (f" +{len(payload.messages)}msg" if payload.messages else "")
+                        + (" TBM" if payload.tbm else ""),
+                    )
+
+            cluster.network.trace = tap
+
+    def _record(self, node: str, kind: str, detail: str) -> None:
+        if len(self.events) >= self.max_events:
+            return
+        self.events.append(
+            TraceEvent(self.cluster.loop.now, node, kind, detail)
+        )
+
+    # ------------------------------------------------------------------
+    def filter(self, kinds: set[str] | None = None, nodes: set[str] | None = None):
+        """Events restricted to the given kinds/nodes (None = all)."""
+        return [
+            e
+            for e in self.events
+            if (kinds is None or e.kind in kinds)
+            and (nodes is None or e.node in nodes)
+        ]
+
+    def render(
+        self,
+        kinds: set[str] | None = None,
+        nodes: set[str] | None = None,
+        limit: int | None = None,
+    ) -> str:
+        return render_timeline(self.filter(kinds, nodes), limit=limit)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def render_swimlanes(
+    events: list[TraceEvent],
+    nodes: list[str],
+    limit: int | None = None,
+    lane_width: int = 22,
+) -> str:
+    """Per-node column rendering — the classic distributed-systems swimlane.
+
+    Each event appears in its node's lane; reading down a column gives one
+    node's history, reading across gives the cluster-wide interleaving.
+    """
+    shown = events[:limit] if limit is not None else list(events)
+    if not shown:
+        return "(no events)"
+    header = f"{'time':>10}  " + "  ".join(f"{n:^{lane_width}}" for n in nodes)
+    lines = [header, "-" * len(header)]
+    for e in shown:
+        cells = []
+        for n in nodes:
+            text = f"{e.kind}: {e.detail}" if e.node == n else ""
+            cells.append(f"{text[:lane_width]:<{lane_width}}")
+        lines.append(f"{e.at:>9.4f}s  " + "  ".join(cells))
+    if limit is not None and len(events) > limit:
+        lines.append(f"... {len(events) - limit} more events")
+    return "\n".join(lines)
+
+
+def render_timeline(events: list[TraceEvent], limit: int | None = None) -> str:
+    """Fixed-width timeline rendering of a trace-event list."""
+    if limit is not None and len(events) > limit:
+        shown = events[:limit]
+        footer = f"... {len(events) - limit} more events"
+    else:
+        shown = list(events)
+        footer = None
+    if not shown:
+        return "(no events)"
+    node_w = max(len(e.node) for e in shown)
+    kind_w = max(len(e.kind) for e in shown)
+    lines = [
+        f"{e.at:>10.4f}s  {e.node:<{node_w}}  {e.kind:<{kind_w}}  {e.detail}"
+        for e in shown
+    ]
+    if footer:
+        lines.append(footer)
+    return "\n".join(lines)

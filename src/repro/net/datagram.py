@@ -1,0 +1,151 @@
+"""Unreliable unicast datagram service — the simulated "UDP" of the paper.
+
+The Raincore Transport Service (paper §2.1) "requires the availability of an
+unreliable unicast interface to send and receive packets.  In typical
+implementations, it uses UDP."  This module is that interface for the
+simulated cluster:
+
+* best-effort: packets may be dropped (segment loss probability, downed
+  NICs/nodes, blocked pairs, partitions) and mildly reordered by jitter;
+* atomic: a packet arrives whole or not at all — there is no fragmentation
+  or corruption in the model, matching the paper's atomic-unicast framing;
+* unicast only: a "broadcast" can only be built from N unicasts, which is
+  exactly the premise of the paper's overhead analysis (§4.1).
+
+Every send/receive is charged to :class:`~repro.net.stats.NodeStats` so the
+benchmarks can report packet and byte overheads per protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.net.eventloop import EventLoop
+from repro.net.stats import StatsRegistry
+from repro.net.topology import Topology
+
+__all__ = ["Datagram", "DatagramNetwork", "PacketHandler"]
+
+
+class Datagram:
+    """One packet in flight.
+
+    ``payload`` is any Python object (the protocol layers use message
+    dataclasses); ``size`` is its modelled wire size in bytes, reported by
+    the message itself so the network does not need to serialize.
+    """
+
+    __slots__ = ("src", "dst", "payload", "size")
+
+    def __init__(self, src: str, dst: str, payload: Any, size: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Datagram({self.src} -> {self.dst}, {self.size}B, {self.payload!r})"
+
+
+class PacketHandler(Protocol):
+    """Callback signature for datagram arrival at a bound address."""
+
+    def __call__(self, packet: Datagram) -> None: ...  # pragma: no cover
+
+
+class DatagramNetwork:
+    """Delivers datagrams between NIC addresses over a :class:`Topology`.
+
+    Parameters
+    ----------
+    loop:
+        The simulation event loop (provides time and the seeded RNG).
+    topology:
+        Mutable topology consulted *at send time* for reachability and at
+        delivery time for destination liveness (a node that crashes while a
+        packet is in flight does not receive it).
+    stats:
+        Registry charged with per-node packet/byte counters.
+    """
+
+    def __init__(
+        self, loop: EventLoop, topology: Topology, stats: StatsRegistry | None = None
+    ) -> None:
+        self.loop = loop
+        self.topology = topology
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._handlers: dict[str, PacketHandler] = {}
+        self.packets_dropped = 0
+        self.packets_delivered = 0
+        # Optional wiretap for tests/tracing: called for every send attempt.
+        self.trace: Callable[[Datagram, bool], None] | None = None
+        # Optional selective filter: return False to drop a packet.  This is
+        # the surgical fault-injection hook (e.g. "drop only the ACKs from B
+        # to A for 300 ms" — the scenario that manufactures failure-detector
+        # false alarms deterministically).
+        self.filter: Callable[[Datagram], bool] | None = None
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def bind(self, address: str, handler: PacketHandler) -> None:
+        """Attach a receive handler to a NIC address (like a UDP socket)."""
+        # Rebinding is allowed: a restarted node re-binds its addresses.
+        self.topology.owner_of(address)  # raises KeyError if unknown
+        self._handlers[address] = handler
+
+    def unbind(self, address: str) -> None:
+        self._handlers.pop(address, None)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any, size: int) -> None:
+        """Best-effort unicast of ``payload`` from ``src`` to ``dst`` NICs.
+
+        Dropped silently (as UDP would) when the path is unavailable or the
+        per-packet loss draw fails.  The sender is always charged for the
+        packet — the NIC transmitted it regardless of fate.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        packet = Datagram(src, dst, payload, size)
+        sender = self.topology.owner_of(src)
+        self.stats.for_node(sender).packet_sent(size)
+
+        if not self.topology.can_deliver(src, dst):
+            self._drop(packet)
+            return
+        if self.filter is not None and not self.filter(packet):
+            self._drop(packet)
+            return
+        seg = self.topology.path_params(src, dst)
+        if seg.loss > 0.0 and self.loop.rng.random() < seg.loss:
+            self._drop(packet)
+            return
+        delay = seg.latency
+        if seg.jitter > 0.0:
+            delay += self.loop.rng.random() * seg.jitter
+        if self.trace is not None:
+            self.trace(packet, True)
+        self.loop.call_later(delay, self._deliver, packet)
+
+    def _drop(self, packet: Datagram) -> None:
+        self.packets_dropped += 1
+        if self.trace is not None:
+            self.trace(packet, False)
+
+    def _deliver(self, packet: Datagram) -> None:
+        # Re-check liveness at arrival time: the destination may have
+        # crashed, been unplugged, or been partitioned while in flight.
+        if not self.topology.can_deliver(packet.src, packet.dst):
+            self.packets_dropped += 1
+            return
+        handler = self._handlers.get(packet.dst)
+        if handler is None:
+            self.packets_dropped += 1
+            return
+        receiver = self.topology.owner_of(packet.dst)
+        self.stats.for_node(receiver).packet_received(packet.size)
+        self.packets_delivered += 1
+        handler(packet)

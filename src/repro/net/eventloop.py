@@ -1,0 +1,207 @@
+"""Deterministic discrete-event scheduler.
+
+This is the execution substrate for the whole reproduction: network packet
+arrivals, protocol timers, fault injections and workload events are all
+callbacks scheduled on one :class:`EventLoop`.
+
+Determinism rules
+-----------------
+* Events fire in ``(time, priority, sequence)`` order.  The monotonically
+  increasing sequence number breaks ties between events scheduled for the
+  same instant, so two runs with the same seed replay identically.
+* All randomness used by the simulation (packet loss draws, workload
+  arrivals) must come from :attr:`EventLoop.rng`, a seeded
+  :class:`random.Random`.
+
+Timers are cancellable handles rather than removable heap entries: cancelling
+marks the handle dead and the heap entry is discarded when popped.  This is
+the standard lazy-deletion scheme used by ``asyncio`` and keeps cancellation
+O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable
+
+__all__ = ["EventLoop", "TimerHandle"]
+
+
+class TimerHandle:
+    """A cancellable reference to one scheduled callback."""
+
+    __slots__ = ("when", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        when: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.when = when
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "TimerHandle") -> bool:
+        return (self.when, self.priority, self.seq) < (
+            other.when,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"TimerHandle(when={self.when:.6f}, seq={self.seq}, {state})"
+
+
+class EventLoop:
+    """A seeded, deterministic discrete-event loop over a virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for :attr:`rng`.  Every run of a scenario with the same seed
+        produces an identical event trace.
+    start:
+        Initial virtual time in seconds.
+    """
+
+    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+        # Import here to avoid a cycle when simclock wants type hints later.
+        from repro.net.simclock import SimClock
+
+        self.clock = SimClock(start)
+        self.rng = random.Random(seed)
+        self._heap: list[TimerHandle] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for run-away detection)."""
+        return self._events_processed
+
+    def call_at(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> TimerHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``.
+
+        ``when`` may not be in the past.  Lower ``priority`` values fire
+        first among events scheduled for the same instant.
+        """
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {when} < now={self.clock.now}"
+            )
+        handle = TimerHandle(when, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> TimerHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self.clock.now + delay, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _pop_live(self) -> TimerHandle | None:
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def peek_time(self) -> float | None:
+        """Virtual time of the next live event, or ``None`` if idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].when if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns ``False`` if the loop is idle."""
+        handle = self._pop_live()
+        if handle is None:
+            return False
+        self.clock.advance_to(handle.when)
+        self._events_processed += 1
+        handle.callback(*handle.args)
+        return True
+
+    def run_until(self, deadline: float, max_events: int | None = None) -> int:
+        """Run events up to and including virtual time ``deadline``.
+
+        The clock is left exactly at ``deadline`` even if the loop drains
+        early, so back-to-back ``run_until`` calls compose naturally.
+        Returns the number of events executed.  ``max_events`` guards
+        against run-away protocol loops in tests.
+        """
+        executed = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > deadline:
+                break
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"run_until exceeded max_events={max_events} before {deadline}"
+                )
+            self.step()
+            executed += 1
+        if deadline > self.clock.now:
+            self.clock.advance_to(deadline)
+        return executed
+
+    def run_for(self, duration: float, max_events: int | None = None) -> int:
+        """Run events for ``duration`` seconds of virtual time."""
+        if duration < 0.0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        return self.run_until(self.clock.now + duration, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain.
+
+        Protocols that self-perpetuate (token circulation, beacons) never go
+        idle, so this is only useful for bounded scenarios and tests.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(f"loop did not go idle within {max_events} events")
+        return executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventLoop(now={self.clock.now:.6f}, pending={len(self._heap)}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,14 @@
+"""Real-time runtime: the protocol stack over asyncio + real UDP sockets.
+
+The session service is driver-agnostic: it consumes a scheduler (``now`` /
+``call_later`` / ``rng``) and a datagram fabric (``bind`` / ``send`` /
+``topology`` / ``stats``).  :class:`AsyncioScheduler` and
+:class:`UdpFabric` provide real-time implementations so the identical
+protocol code that runs deterministically in the simulator also runs on
+localhost UDP — see ``examples/asyncio_udp_demo.py``.
+"""
+
+from repro.runtime.scheduler import AsyncioScheduler
+from repro.runtime.udp import UdpFabric
+
+__all__ = ["AsyncioScheduler", "UdpFabric"]

@@ -1,0 +1,130 @@
+"""Standalone node worker: one Raincore node per OS process.
+
+This is the final step of the runtime ladder — simulator → asyncio/UDP in
+one process → **separate processes** with nothing shared but datagrams.
+Each worker runs exactly one session node over real UDP and reports its
+observations as JSON lines on stdout, so a parent (test, demo, or human
+with a terminal per node) can watch the cluster form across process
+boundaries.
+
+Usage (normally spawned by ``examples/multiprocess_demo.py`` or the tests)::
+
+    python -m repro.runtime.worker --node A --port 42000 \
+        --peers A=42000,B=42001,C=42002 --bootstrap --duration 3 \
+        --multicast-at 1.0 --payload hello
+
+Protocol of the stdout stream: one JSON object per line with an ``event``
+field (``started``, ``view``, ``deliver``, ``done``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.core.config import RaincoreConfig
+from repro.core.events import Delivery, SessionListener, ViewChange
+from repro.core.session import RaincoreNode
+from repro.runtime.scheduler import AsyncioScheduler
+from repro.runtime.udp import UdpFabric
+
+__all__ = ["main", "run_worker"]
+
+
+class _JsonReporter(SessionListener):
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+
+    def _emit(self, event: str, **fields) -> None:
+        print(json.dumps({"event": event, "node": self.node_id, **fields}), flush=True)
+
+    def on_view_change(self, view: ViewChange) -> None:
+        self._emit("view", members=list(view.members), view_id=view.view_id)
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        payload = delivery.payload
+        if isinstance(payload, bytes):
+            payload = payload.decode("utf-8", "replace")
+        self._emit(
+            "deliver", origin=delivery.origin, msg_no=delivery.msg_no,
+            payload=str(payload),
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-worker")
+    parser.add_argument("--node", required=True, help="this node's id")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--peers",
+        required=True,
+        help="comma-separated id=port pairs for the whole cluster",
+    )
+    parser.add_argument(
+        "--bootstrap",
+        action="store_true",
+        help="form a new group instead of joining",
+    )
+    parser.add_argument("--contact", default=None, help="join via this member")
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--hop-interval", type=float, default=0.02)
+    parser.add_argument(
+        "--multicast-at", type=float, default=None,
+        help="seconds after start to multicast --payload",
+    )
+    parser.add_argument("--payload", default="hello-from-worker")
+    return parser
+
+
+async def run_worker(args) -> int:
+    ports = {}
+    for pair in args.peers.split(","):
+        nid, port = pair.split("=")
+        ports[nid] = int(port)
+    if args.node not in ports or ports[args.node] != args.port:
+        raise SystemExit("--port must match this node's entry in --peers")
+
+    fabric = UdpFabric(ports)
+    scheduler = AsyncioScheduler(asyncio.get_event_loop(), seed=hash(args.node) & 0xFFFF)
+    config = RaincoreConfig.tuned(ring_size=len(ports), hop_interval=args.hop_interval)
+    reporter = _JsonReporter(args.node)
+    node = RaincoreNode(args.node, scheduler, fabric, config, reporter)
+
+    await fabric.open(args.node)
+    reporter._emit("started", port=args.port)
+    if args.bootstrap:
+        node.start_new_group()
+    else:
+        contact = args.contact or next(n for n in ports if n != args.node)
+        node.start_joining([contact])
+
+    deadline = scheduler.now + args.duration
+    multicast_at = (
+        scheduler.now + args.multicast_at if args.multicast_at is not None else None
+    )
+    while scheduler.now < deadline:
+        await asyncio.sleep(0.02)
+        if multicast_at is not None and scheduler.now >= multicast_at:
+            multicast_at = None
+            node.multicast(args.payload.encode())
+
+    reporter._emit(
+        "done",
+        members=list(node.members),
+        state=node.state.value,
+        packets_sent=fabric.stats.for_node(args.node).packets_sent,
+    )
+    node.crash()
+    fabric.close_all()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return asyncio.run(run_worker(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

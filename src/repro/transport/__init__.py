@@ -1,0 +1,31 @@
+"""Raincore Transport Service (paper §2.1).
+
+Atomic reliable unicast with acknowledgement, redundant-link multipath, and
+failure-on-delivery notification — the local-view failure detector that
+drives the session layer's aggressive membership protocol.
+"""
+
+from repro.transport.messages import (
+    TRANSPORT_HEADER,
+    UDP_IP_HEADER,
+    AckFrame,
+    DataFrame,
+    WireSized,
+    frame_size,
+)
+from repro.transport.multipath import AddressPlan, SendStrategy, plan_routes
+from repro.transport.reliable import ReliableUnicast, TransportConfig
+
+__all__ = [
+    "TRANSPORT_HEADER",
+    "UDP_IP_HEADER",
+    "AckFrame",
+    "DataFrame",
+    "WireSized",
+    "frame_size",
+    "AddressPlan",
+    "SendStrategy",
+    "plan_routes",
+    "ReliableUnicast",
+    "TransportConfig",
+]

@@ -1,0 +1,100 @@
+"""Wire framing for the Raincore Transport Service.
+
+The transport exchanges two frame types over the unreliable datagram layer:
+
+* ``DATA`` — carries one upper-layer message (a session-layer object that
+  reports its own modelled wire size via ``wire_size()``), tagged with a
+  per-sender message id used for acknowledgement and duplicate suppression.
+* ``ACK`` — acknowledges one DATA frame by id.
+
+Sizes are modelled, not serialized: each frame adds the UDP/IP header cost
+plus a small transport header, which is what the paper's §4.1 byte
+arithmetic counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "UDP_IP_HEADER",
+    "TRANSPORT_HEADER",
+    "WireSized",
+    "DataFrame",
+    "AckFrame",
+    "BareFrame",
+    "frame_size",
+]
+
+#: Modelled overhead of one UDP/IPv4 datagram (20 IP + 8 UDP bytes).
+UDP_IP_HEADER = 28
+#: Modelled Raincore transport header (msg id, node ids, flags).
+TRANSPORT_HEADER = 16
+
+
+@runtime_checkable
+class WireSized(Protocol):
+    """Anything the transport can carry: must report a wire size in bytes."""
+
+    def wire_size(self) -> int: ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A transport DATA frame: one atomic, acknowledged unicast payload."""
+
+    src_node: str
+    dst_node: str
+    msg_id: int
+    payload: Any
+
+    def payload_size(self) -> int:
+        payload = self.payload
+        if isinstance(payload, WireSized):
+            return payload.wire_size()
+        if isinstance(payload, (bytes, bytearray, str)):
+            return len(payload)
+        raise TypeError(
+            f"payload {payload!r} has no wire_size() and is not bytes/str"
+        )
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Acknowledges receipt of DATA frame ``msg_id`` from ``dst_node``."""
+
+    src_node: str
+    dst_node: str
+    msg_id: int
+
+
+@dataclass(frozen=True)
+class BareFrame:
+    """An unacknowledged, fire-and-forget payload (discovery beacons).
+
+    The BODYODOR beacon (paper §2.4) is "a small message sent with a
+    regular, but low frequency"; it needs neither acknowledgement nor
+    retransmission — the next beacon is its retry.
+    """
+
+    src_node: str
+    dst_node: str
+    payload: Any
+
+    def payload_size(self) -> int:
+        payload = self.payload
+        if isinstance(payload, WireSized):
+            return payload.wire_size()
+        if isinstance(payload, (bytes, bytearray, str)):
+            return len(payload)
+        raise TypeError(
+            f"payload {payload!r} has no wire_size() and is not bytes/str"
+        )
+
+
+def frame_size(frame: DataFrame | AckFrame | BareFrame) -> int:
+    """Modelled on-the-wire size of a transport frame in bytes."""
+    if isinstance(frame, (DataFrame, BareFrame)):
+        return UDP_IP_HEADER + TRANSPORT_HEADER + frame.payload_size()
+    return UDP_IP_HEADER + TRANSPORT_HEADER

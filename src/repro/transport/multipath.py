@@ -1,0 +1,67 @@
+"""Multi-address sending strategies over redundant links (paper §2.1 item 2).
+
+A Raincore node may own several physical addresses (NICs on redundant
+segments).  The Transport Service can target a peer's addresses either
+
+* ``SEQUENTIAL`` — try address 1 for the full retry budget of that address,
+  then address 2, and so on; cheap, but fail-over to the second link waits
+  for the first link's retries to exhaust; or
+* ``PARALLEL`` — every (re)transmission is sent on *all* address pairs at
+  once; duplicates are suppressed by the receiver; fastest fail-over at the
+  cost of extra packets.
+
+The plan enumerates ``(src_address, dst_address)`` pairs so a node with two
+NICs talking to a peer with two NICs uses matching segments where possible
+(NIC k ↔ segment shared with peer NIC k).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.topology import Topology
+
+__all__ = ["SendStrategy", "AddressPlan", "plan_routes"]
+
+
+class SendStrategy(enum.Enum):
+    """How redundant address pairs are exercised by the transport."""
+
+    SEQUENTIAL = "sequential"
+    PARALLEL = "parallel"
+
+
+@dataclass(frozen=True)
+class AddressPlan:
+    """Ordered list of usable ``(src_addr, dst_addr)`` pairs for one peer."""
+
+    pairs: tuple[tuple[str, str], ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self.pairs)
+
+
+def plan_routes(topology: Topology, src_node: str, dst_node: str) -> AddressPlan:
+    """Enumerate address pairs from ``src_node`` to ``dst_node``.
+
+    Pairs are ordered with same-segment matches first (NIC k to NIC k on the
+    shared segment), because redundant deployments pair NICs segment-by-
+    segment.  Only pairs that share a segment in the *static* topology are
+    included; dynamic conditions (downed NICs, partitions) are checked by
+    the datagram layer per packet, since the whole point of redundancy is to
+    keep trying pairs whose links may have silently failed.
+    """
+    pairs: list[tuple[str, str]] = []
+    for src_addr in topology.addresses_of(src_node):
+        try:
+            src_seg = topology.segment_of(src_addr)
+        except KeyError:  # pragma: no cover - attach() always adds a segment
+            continue
+        for dst_addr in topology.addresses_of(dst_node):
+            if dst_addr in src_seg.attached:
+                pairs.append((src_addr, dst_addr))
+    return AddressPlan(tuple(pairs))

@@ -1,0 +1,298 @@
+"""Atomic reliable unicast with failure-on-delivery — paper §2.1.
+
+The Raincore Transport Service differs from TCP in three ways the paper
+enumerates, all reflected here:
+
+1. **Atomic, connectionless** — each ``send`` is an independent acknowledged
+   datagram; a payload is delivered whole or not at all, and there is no
+   connection state to reconcile when nodes come and go.
+2. **Multiple physical addresses** — a peer is addressed by *node id*; the
+   transport fans out over redundant NIC pairs using a
+   :class:`~repro.transport.multipath.SendStrategy`.
+3. **Notification both ways** — the caller receives an explicit success
+   notification (ack received) or a **failure-on-delivery** notification
+   when every attempt on every address pair has been exhausted.  The
+   failure notification is the session layer's local-view failure detector:
+   Raincore's aggressive membership protocol removes a peer the moment the
+   transport gives up on it (paper §2.2).
+
+Duplicate DATA frames (caused by lost acks or PARALLEL multipath) are
+suppressed with a bounded per-peer window, and every DATA frame is re-acked
+so the sender can complete.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.net.datagram import Datagram, DatagramNetwork
+from repro.net.eventloop import EventLoop, TimerHandle
+from repro.net.stats import NodeStats
+from repro.net.topology import Topology
+from repro.transport.messages import AckFrame, BareFrame, DataFrame, frame_size
+from repro.transport.multipath import AddressPlan, SendStrategy, plan_routes
+
+__all__ = ["TransportConfig", "ReliableUnicast", "ReceiveHandler", "ResultHandler"]
+
+#: Upper-layer receive callback: (source node id, payload object).
+ReceiveHandler = Callable[[str, Any], None]
+#: Delivery outcome callback: True = acked, False = failure-on-delivery.
+ResultHandler = Callable[[bool], None]
+
+
+@dataclass
+class TransportConfig:
+    """Timing and redundancy knobs for the reliable unicast service.
+
+    ``retx_timeout`` and ``attempts_per_route`` bound how long the transport
+    tries before declaring failure-on-delivery; with SEQUENTIAL strategy the
+    worst-case detection latency is
+    ``attempts_per_route * retx_timeout * n_routes``.
+    Defaults suit a low-latency LAN (paper §4.1's premise) and give
+    sub-200 ms failure detection on a single link.
+    """
+
+    retx_timeout: float = 0.05
+    attempts_per_route: int = 3
+    strategy: SendStrategy = SendStrategy.SEQUENTIAL
+    dedup_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.retx_timeout <= 0.0:
+            raise ValueError("retx_timeout must be positive")
+        if self.attempts_per_route < 1:
+            raise ValueError("attempts_per_route must be at least 1")
+        if self.dedup_window < 1:
+            raise ValueError("dedup_window must be at least 1")
+
+    def failure_detection_bound(self, n_routes: int = 1) -> float:
+        """Worst-case seconds before failure-on-delivery fires."""
+        if self.strategy is SendStrategy.SEQUENTIAL:
+            return self.retx_timeout * self.attempts_per_route * max(1, n_routes)
+        return self.retx_timeout * self.attempts_per_route
+
+
+@dataclass
+class _PendingSend:
+    """Book-keeping for one in-flight acknowledged unicast."""
+
+    frame: DataFrame
+    plan: AddressPlan
+    on_result: ResultHandler | None
+    route_index: int = 0
+    attempts_on_route: int = 0
+    rounds: int = 0  # parallel strategy: completed all-routes rounds
+    timer: TimerHandle | None = None
+    done: bool = False
+
+
+class ReliableUnicast:
+    """Per-node Raincore Transport Service endpoint.
+
+    One instance lives on each node; it binds all of the node's NIC
+    addresses on the datagram network and exposes node-id-level ``send``.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        loop: EventLoop,
+        network: DatagramNetwork,
+        config: TransportConfig | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.loop = loop
+        self.network = network
+        self.topology: Topology = network.topology
+        self.config = config if config is not None else TransportConfig()
+        self.stats: NodeStats = network.stats.for_node(node_id)
+        self._receiver: ReceiveHandler | None = None
+        self._msg_ids = itertools.count(1)
+        self._pending: dict[int, _PendingSend] = {}
+        # Duplicate suppression: peer -> (set of ids, FIFO of ids).
+        self._seen: dict[str, tuple[set[int], deque[int]]] = {}
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind every NIC address of this node; idempotent."""
+        for addr in self.topology.addresses_of(self.node_id):
+            self.network.bind(addr, self._on_packet)
+        self._running = True
+
+    def stop(self) -> None:
+        """Unbind and abandon all in-flight sends (node shutdown/crash)."""
+        self._running = False
+        for addr in self.topology.addresses_of(self.node_id):
+            self.network.unbind(addr)
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+            pending.done = True
+        self._pending.clear()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def set_receiver(self, handler: ReceiveHandler) -> None:
+        """Install the upper-layer payload handler."""
+        self._receiver = handler
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self, dst_node: str, payload: Any, on_result: ResultHandler | None = None
+    ) -> int:
+        """Reliably unicast ``payload`` to ``dst_node``.
+
+        Returns the transport message id.  ``on_result`` fires exactly once:
+        ``True`` on acknowledgement, ``False`` on failure-on-delivery.  The
+        failure path is always asynchronous (scheduled on the loop), even
+        when no route exists, so callers can rely on callback ordering.
+        """
+        if not self._running:
+            raise RuntimeError(f"transport on {self.node_id!r} is not started")
+        if dst_node == self.node_id:
+            raise ValueError("transport does not loop back to self")
+        msg_id = next(self._msg_ids)
+        frame = DataFrame(self.node_id, dst_node, msg_id, payload)
+        plan = plan_routes(self.topology, self.node_id, dst_node)
+        pending = _PendingSend(frame=frame, plan=plan, on_result=on_result)
+        self._pending[msg_id] = pending
+        if not plan:
+            # No shared segment at all: immediate (but async) failure.
+            self.loop.call_later(0.0, self._finish, msg_id, False)
+            return msg_id
+        self._transmit(pending)
+        return msg_id
+
+    def send_best_effort(self, dst_node: str, payload: Any) -> None:
+        """Fire-and-forget unicast: one datagram, no ack, no retransmit.
+
+        Used for discovery beacons (paper §2.4), whose natural retry is the
+        next beacon.  Silently does nothing when no route exists.
+        """
+        if not self._running:
+            raise RuntimeError(f"transport on {self.node_id!r} is not started")
+        plan = plan_routes(self.topology, self.node_id, dst_node)
+        if not plan:
+            return
+        frame = BareFrame(self.node_id, dst_node, payload)
+        src_addr, dst_addr = plan.pairs[0]
+        self.network.send(src_addr, dst_addr, frame, frame_size(frame))
+
+    def cancel(self, msg_id: int) -> None:
+        """Abandon an in-flight send without firing its callback."""
+        pending = self._pending.pop(msg_id, None)
+        if pending is not None:
+            pending.done = True
+            if pending.timer is not None:
+                pending.timer.cancel()
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _transmit(self, pending: _PendingSend) -> None:
+        frame = pending.frame
+        size = frame_size(frame)
+        cfg = self.config
+        if cfg.strategy is SendStrategy.PARALLEL:
+            for src_addr, dst_addr in pending.plan.pairs:
+                self.network.send(src_addr, dst_addr, frame, size)
+            pending.rounds += 1
+            if pending.rounds >= cfg.attempts_per_route:
+                pending.timer = self.loop.call_later(
+                    cfg.retx_timeout, self._finish, frame.msg_id, False
+                )
+            else:
+                pending.timer = self.loop.call_later(
+                    cfg.retx_timeout, self._retransmit, frame.msg_id
+                )
+            return
+
+        # SEQUENTIAL: exhaust the retry budget on one route, then advance.
+        src_addr, dst_addr = pending.plan.pairs[pending.route_index]
+        self.network.send(src_addr, dst_addr, frame, size)
+        pending.attempts_on_route += 1
+        exhausted_route = pending.attempts_on_route >= cfg.attempts_per_route
+        last_route = pending.route_index >= len(pending.plan) - 1
+        if exhausted_route and last_route:
+            pending.timer = self.loop.call_later(
+                cfg.retx_timeout, self._finish, frame.msg_id, False
+            )
+        else:
+            pending.timer = self.loop.call_later(
+                cfg.retx_timeout, self._retransmit, frame.msg_id
+            )
+
+    def _retransmit(self, msg_id: int) -> None:
+        pending = self._pending.get(msg_id)
+        if pending is None or pending.done:
+            return
+        if self.config.strategy is SendStrategy.SEQUENTIAL:
+            if pending.attempts_on_route >= self.config.attempts_per_route:
+                pending.route_index += 1
+                pending.attempts_on_route = 0
+        self._transmit(pending)
+
+    def _finish(self, msg_id: int, success: bool) -> None:
+        pending = self._pending.pop(msg_id, None)
+        if pending is None or pending.done:
+            return
+        pending.done = True
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if pending.on_result is not None:
+            pending.on_result(success)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Datagram) -> None:
+        frame = packet.payload
+        if isinstance(frame, AckFrame):
+            self._on_ack(frame)
+        elif isinstance(frame, DataFrame):
+            self._on_data(packet, frame)
+        elif isinstance(frame, BareFrame):
+            if frame.dst_node == self.node_id and self._receiver is not None:
+                self._receiver(frame.src_node, frame.payload)
+        # Anything else is silently ignored, as a UDP service would.
+
+    def _on_ack(self, frame: AckFrame) -> None:
+        if frame.dst_node != self.node_id:
+            return
+        self._finish(frame.msg_id, True)
+
+    def _on_data(self, packet: Datagram, frame: DataFrame) -> None:
+        if frame.dst_node != self.node_id:
+            return
+        # Always (re-)ack on the reverse path: the original ack may be lost.
+        ack = AckFrame(self.node_id, frame.src_node, frame.msg_id)
+        self.network.send(packet.dst, packet.src, ack, frame_size(ack))
+        if self._is_duplicate(frame.src_node, frame.msg_id):
+            return
+        if self._receiver is not None:
+            self._receiver(frame.src_node, frame.payload)
+
+    def _is_duplicate(self, peer: str, msg_id: int) -> bool:
+        if peer not in self._seen:
+            self._seen[peer] = (set(), deque())
+        ids, fifo = self._seen[peer]
+        if msg_id in ids:
+            return True
+        ids.add(msg_id)
+        fifo.append(msg_id)
+        if len(fifo) > self.config.dedup_window:
+            ids.discard(fifo.popleft())
+        return False

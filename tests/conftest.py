@@ -1,0 +1,37 @@
+"""Shared fixtures for the Raincore reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.harness import RaincoreCluster
+from repro.net.datagram import DatagramNetwork
+from repro.net.eventloop import EventLoop
+from repro.net.topology import Topology, build_switched_cluster
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop(seed=42)
+
+
+@pytest.fixture
+def two_node_net(loop):
+    """A two-node, single-segment network with its transports unstarted."""
+    topo = Topology()
+    addrs = build_switched_cluster(topo, ["A", "B"])
+    net = DatagramNetwork(loop, topo)
+    return loop, topo, net, addrs
+
+
+def make_cluster(node_ids, **kwargs) -> RaincoreCluster:
+    kwargs.setdefault("seed", 1234)
+    return RaincoreCluster(list(node_ids), **kwargs)
+
+
+@pytest.fixture
+def abcd() -> RaincoreCluster:
+    """A formed 4-node cluster — the paper's running example."""
+    cluster = make_cluster("ABCD")
+    cluster.start_all()
+    return cluster

@@ -1,0 +1,170 @@
+"""Tests for the barrier and replicated-queue Data Service primitives."""
+
+import pytest
+
+from repro.data import DistributedBarrier, ReplicatedQueue
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture
+def barrier_cluster():
+    c = make_cluster("ABCD")
+    barriers = {nid: DistributedBarrier(c.node(nid), "sync") for nid in "ABCD"}
+    c.start_all()
+    return c, barriers
+
+
+@pytest.fixture
+def queue_cluster():
+    c = make_cluster("ABCD")
+    queues = {nid: ReplicatedQueue(c.node(nid), "work") for nid in "ABCD"}
+    c.start_all()
+    return c, queues
+
+
+# ----------------------------------------------------------------------
+# barrier
+# ----------------------------------------------------------------------
+def test_barrier_completes_when_all_arrive(barrier_cluster):
+    c, barriers = barrier_cluster
+    released = []
+    for nid in "ABCD":
+        barriers[nid].wait(lambda nid=nid: released.append(nid))
+    c.run(2.0)
+    assert sorted(released) == list("ABCD")
+
+
+def test_barrier_blocks_until_last_arrival(barrier_cluster):
+    c, barriers = barrier_cluster
+    released = []
+    for nid in "ABC":  # D missing
+        barriers[nid].wait(lambda nid=nid: released.append(nid))
+    c.run(2.0)
+    assert released == []
+    barriers["D"].wait(lambda: released.append("D"))
+    c.run(2.0)
+    assert sorted(released) == list("ABCD")
+
+
+def test_barrier_generations_are_independent(barrier_cluster):
+    c, barriers = barrier_cluster
+    done = []
+    for g in range(3):
+        for nid in "ABCD":
+            barriers[nid].wait(lambda g=g, nid=nid: done.append((g, nid)))
+    c.run(3.0)
+    assert len(done) == 12
+    for g in range(3):
+        assert sorted(n for gg, n in done if gg == g) == list("ABCD")
+
+
+def test_barrier_survives_participant_crash(barrier_cluster):
+    """A member dying mid-generation must not wedge the others."""
+    c, barriers = barrier_cluster
+    released = []
+    for nid in "ABC":
+        barriers[nid].wait(lambda nid=nid: released.append(nid))
+    c.run(1.0)
+    # D never arrives and then dies; the purge shrinks the expected set.
+    c.faults.crash_node("D")
+    c.run(5.0)
+    assert sorted(released) == list("ABC")
+
+
+def test_barrier_expected_set_frozen_at_first_arrival(barrier_cluster):
+    c, barriers = barrier_cluster
+    barriers["A"].wait()
+    c.run(1.0)
+    expected, arrived = barriers["B"].generation_state(0)
+    assert expected == set("ABCD")
+    assert "A" in arrived
+
+
+# ----------------------------------------------------------------------
+# replicated queue
+# ----------------------------------------------------------------------
+def test_push_then_pop(queue_cluster):
+    c, queues = queue_cluster
+    got = []
+    queues["A"].push("job-1")
+    c.run(1.0)
+    queues["C"].pop(got.append)
+    c.run(1.0)
+    assert got == ["job-1"]
+
+
+def test_pop_waits_for_push(queue_cluster):
+    c, queues = queue_cluster
+    got = []
+    queues["B"].pop(got.append)
+    c.run(1.0)
+    assert got == []
+    queues["D"].push("late")
+    c.run(1.0)
+    assert got == ["late"]
+
+
+def test_each_item_handed_to_exactly_one_popper(queue_cluster):
+    c, queues = queue_cluster
+    got = {nid: [] for nid in "ABCD"}
+    for i in range(8):
+        queues["ABCD"[i % 4]].push(f"item-{i}")
+    for nid in "ABCD":
+        for _ in range(2):
+            queues[nid].pop(got[nid].append)
+    c.run(3.0)
+    all_got = [item for items in got.values() for item in items]
+    assert sorted(all_got) == [f"item-{i}" for i in range(8)]
+    assert len(set(all_got)) == 8  # nothing duplicated
+
+
+def test_fifo_order(queue_cluster):
+    c, queues = queue_cluster
+    for i in range(5):
+        queues["A"].push(i)
+    c.run(1.0)
+    got = []
+    for _ in range(5):
+        queues["B"].pop(got.append)
+    c.run(2.0)
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_assignment_log_identical_across_replicas(queue_cluster):
+    c, queues = queue_cluster
+    for i in range(6):
+        queues["ABCD"[i % 4]].push(i)
+        queues["ABCD"[(i + 1) % 4]].pop(lambda item: None)
+    c.run(3.0)
+    logs = [queues[nid].assignments for nid in "ABCD"]
+    assert all(log == logs[0] for log in logs)
+    assert len(logs[0]) == 6
+
+
+def test_dead_popper_purged(queue_cluster):
+    c, queues = queue_cluster
+    got = []
+    queues["D"].pop(lambda item: None)  # D waits on an empty queue
+    c.run(1.0)
+    c.faults.crash_node("D")
+    c.run(4.0)
+    queues["A"].push("for-someone-alive")
+    queues["B"].pop(got.append)
+    c.run(2.0)
+    assert got == ["for-someone-alive"]
+    for nid in "ABC":
+        assert queues[nid].waiting() == 0
+
+
+def test_depth_and_waiting(queue_cluster):
+    c, queues = queue_cluster
+    queues["A"].push("x")
+    queues["A"].push("y")
+    c.run(1.0)
+    assert queues["C"].depth() == 2
+    queues["C"].pop(lambda item: None)
+    c.run(1.0)
+    assert queues["B"].depth() == 1
+    assert queues["B"].waiting() == 0

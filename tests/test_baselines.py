@@ -1,0 +1,119 @@
+"""Tests for the broadcast-based comparator protocols (paper §4.1)."""
+
+import pytest
+
+from repro.baselines import (
+    BroadcastNode,
+    SequencerNode,
+    TwoPhaseNode,
+    build_baseline_cluster,
+)
+
+pytestmark = pytest.mark.integration
+
+ALL_PROTOCOLS = [BroadcastNode, SequencerNode, TwoPhaseNode]
+
+
+def run_workload(node_cls, node_ids="ABCD", per_node=3, seed=1, **kw):
+    cluster = build_baseline_cluster(node_cls, list(node_ids), seed=seed, **kw)
+    delivered = {nid: [] for nid in node_ids}
+    for nid in node_ids:
+        cluster[nid].set_deliver(lambda o, p, nid=nid: delivered[nid].append((o, p)))
+    for i in range(per_node):
+        for nid in node_ids:
+            cluster[nid].multicast(f"{nid}-{i}", size=100)
+    cluster.run(3.0)
+    return cluster, delivered
+
+
+@pytest.mark.parametrize("node_cls", ALL_PROTOCOLS)
+def test_all_messages_delivered_everywhere(node_cls):
+    cluster, delivered = run_workload(node_cls)
+    expected = {(nid, f"{nid}-{i}") for nid in "ABCD" for i in range(3)}
+    for nid in "ABCD":
+        assert set(delivered[nid]) == expected
+
+
+@pytest.mark.parametrize("node_cls", ALL_PROTOCOLS)
+def test_no_duplicates(node_cls):
+    cluster, delivered = run_workload(node_cls)
+    for msgs in delivered.values():
+        assert len(msgs) == len(set(msgs))
+
+
+@pytest.mark.parametrize("node_cls", [SequencerNode, TwoPhaseNode])
+def test_ordering_protocols_agree_on_total_order(node_cls):
+    cluster, delivered = run_workload(node_cls, per_node=5)
+    orders = list(delivered.values())
+    assert all(o == orders[0] for o in orders[1:])
+
+
+def test_plain_broadcast_reliable_under_loss():
+    cluster, delivered = run_workload(BroadcastNode, loss=0.3, seed=11)
+    expected = {(nid, f"{nid}-{i}") for nid in "ABCD" for i in range(3)}
+    for nid in "ABCD":
+        assert set(delivered[nid]) == expected
+
+
+def test_two_phase_total_order_under_loss():
+    cluster, delivered = run_workload(TwoPhaseNode, loss=0.2, seed=13, per_node=4)
+    orders = list(delivered.values())
+    assert all(o == orders[0] for o in orders[1:])
+    assert len(orders[0]) == 16
+
+
+def test_sequencer_is_lowest_id():
+    cluster = build_baseline_cluster(SequencerNode, ["C", "A", "B"])
+    assert cluster["A"].is_sequencer
+    assert not cluster["B"].is_sequencer
+
+
+def test_member_list_must_include_self():
+    with pytest.raises(ValueError):
+        build_baseline_cluster(BroadcastNode, ["A"])["A"].__class__(
+            "Z",
+            build_baseline_cluster(BroadcastNode, ["A"]).loop,
+            build_baseline_cluster(BroadcastNode, ["A"]).network,
+            ["A"],
+        )
+
+
+# ----------------------------------------------------------------------
+# the paper's overhead hierarchy (qualitative; exact sweeps live in
+# benchmarks/bench_e1_task_switching.py)
+# ----------------------------------------------------------------------
+def protocol_task_switches(node_cls, per_node=5):
+    cluster, _ = run_workload(node_cls, per_node=per_node, seed=7)
+    return max(
+        cluster.stats.for_node(nid).task_switches for nid in "ABCD"
+    )
+
+
+def test_two_phase_costs_more_than_broadcast():
+    assert protocol_task_switches(TwoPhaseNode) > protocol_task_switches(
+        BroadcastNode
+    )
+
+
+def test_broadcast_wakeups_scale_with_m_times_n():
+    """Per node, plain broadcast wakes at least (N-1) * M times."""
+    n, m = 4, 5
+    cluster, _ = run_workload(BroadcastNode, per_node=m, seed=7)
+    for nid in "ABCD":
+        assert cluster.stats.for_node(nid).task_switches >= (n - 1) * m * 0.9
+
+
+def test_packet_count_quadratic_in_n():
+    """(N-1)^2 data packets per all-node multicast round (paper §4.1),
+    doubled by acks."""
+    for n_nodes in (3, 5):
+        ids = [f"n{i}" for i in range(n_nodes)]
+        cluster = build_baseline_cluster(BroadcastNode, ids, seed=3)
+        for nid in ids:
+            cluster[nid].multicast("x", size=100)
+        cluster.run(2.0)
+        data_packets = n_nodes * (n_nodes - 1)
+        total = cluster.stats.total("packets_sent")
+        # data + acks, within a small retransmission tolerance
+        assert total >= 2 * data_packets
+        assert total <= 2 * data_packets * 1.2

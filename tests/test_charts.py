@@ -1,0 +1,46 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.charts import bar_chart
+
+
+def test_basic_bars_scale_to_peak():
+    out = bar_chart("T", ["a", "b"], [50.0, 100.0], width=10)
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    a_bar = lines[2].split("|")[1].strip().split(" ")[0]
+    b_bar = lines[3].split("|")[1].strip().split(" ")[0]
+    assert len(b_bar) == 10
+    assert len(a_bar) == 5
+
+
+def test_values_printed():
+    out = bar_chart("T", ["x"], [1234.5], unit=" Mbps")
+    assert "1,234.5 Mbps" in out
+
+
+def test_reference_bars_rendered_hollow():
+    out = bar_chart("T", ["x"], [100.0], reference={"x": 80.0})
+    assert "#" in out and "." in out
+    assert "x (ref)" in out
+
+
+def test_empty_chart():
+    assert "(no data)" in bar_chart("T", [], [])
+
+
+def test_mismatched_lengths():
+    with pytest.raises(ValueError):
+        bar_chart("T", ["a"], [1.0, 2.0])
+
+
+def test_zero_values_do_not_crash():
+    out = bar_chart("T", ["a"], [0.0])
+    assert "0.0" in out
+
+
+def test_minimum_one_char_bar():
+    out = bar_chart("T", ["tiny", "huge"], [0.1, 1000.0], width=20)
+    tiny_line = [l for l in out.splitlines() if "tiny" in l][0]
+    assert "#" in tiny_line

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.integration
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info(capsys):
+    code, out = run_cli(capsys, "info")
+    assert code == 0
+    assert "raincore-repro" in out
+    assert "e1" in out and "e11" in out
+    assert "DESIGN.md" in out
+
+
+def test_quickstart(capsys):
+    code, out = run_cli(capsys, "quickstart", "--nodes", "3", "--seed", "5")
+    assert code == 0
+    assert "group formed" in out
+    assert "rejoined via 911" in out
+    assert "task switches" in out
+
+
+def test_trace(capsys):
+    code, out = run_cli(capsys, "trace", "--duration", "0.1", "--limit", "20")
+    assert code == 0
+    assert "down -> joining" in out
+    assert "token" in out
+
+
+def test_trace_kind_filter(capsys):
+    code, out = run_cli(
+        capsys, "trace", "--duration", "0.1", "--kinds", "view", "--limit", "50"
+    )
+    assert code == 0
+    assert "view" in out
+    assert "token" not in out
+
+
+def test_merge(capsys):
+    code, out = run_cli(capsys, "merge")
+    assert code == 0
+    assert "split-brain: 3 independent groups" in out
+    assert "healed and merged" in out
+
+
+@pytest.mark.slow
+def test_failover(capsys):
+    code, out = run_cli(capsys, "failover")
+    assert code == 0
+    assert "worst connection hiccup" in out
+    assert "connections lost: 0" in out
+
+
+@pytest.mark.slow
+def test_scaling_small(capsys):
+    code, out = run_cli(capsys, "scaling", "--nodes", "1", "2")
+    assert code == 0
+    assert "2.0" in out  # ~2x scaling appears in the table
+
+
+@pytest.mark.slow
+def test_soak_short(capsys):
+    code, out = run_cli(
+        capsys, "soak", "--nodes", "5", "--duration", "8", "--seed", "3"
+    )
+    assert code == 0
+    assert "converged after quiescence: True" in out
+    assert "duplicate deliveries: 0" in out
+
+
+def test_trace_swimlanes(capsys):
+    code, out = run_cli(
+        capsys, "trace", "--duration", "0.05", "--swimlanes", "--limit", "8"
+    )
+    assert code == 0
+    header = out.splitlines()[0]
+    assert "A" in header and "B" in header and "C" in header
+
+
+def test_hierarchy_command(capsys):
+    code, out = run_cli(capsys, "hierarchy", "--groups", "2", "--group-size", "2")
+    assert code == 0
+    assert "top ring" in out
+    assert "reached 4/4" in out

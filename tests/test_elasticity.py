@@ -1,0 +1,82 @@
+"""Tests for growing a running cluster (harness elasticity)."""
+
+import pytest
+
+from repro.data import SharedDict
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+def test_add_node_joins_running_cluster():
+    c = make_cluster("AB")
+    c.start_all()
+    c.add_node("C")
+    assert c.run_until_converged(6.0, expected={"A", "B", "C"})
+    assert "C" in c.nodes and c.node("C").is_member
+
+
+def test_grow_from_two_to_five():
+    c = make_cluster("AB")
+    c.start_all()
+    for nid in ("C", "D", "E"):
+        c.add_node(nid)
+        assert c.run_until_converged(8.0), f"stuck adding {nid}"
+    assert set(c.node("A").members) == set("ABCDE")
+
+
+def test_added_node_participates_fully():
+    c = make_cluster("AB")
+    c.start_all()
+    c.add_node("C")
+    c.run_until_converged(6.0, expected={"A", "B", "C"})
+    c.node("C").multicast("from the newcomer")
+    c.run(1.0)
+    for nid in "ABC":
+        assert "from the newcomer" in [
+            d.payload for d in c.listener(nid).deliveries
+        ]
+
+
+def test_added_node_gets_state_transfer():
+    c = make_cluster("AB")
+    dicts = {nid: SharedDict(c.node(nid)) for nid in "AB"}
+    c.start_all()
+    dicts["A"].set("pre-growth", 1)
+    c.run(1.0)
+    cn = c.add_node("C", start=False)
+    dicts["C"] = SharedDict(cn.node)  # attach the replica before joining
+    cn.node.start_joining(["A"])
+    c.run_until_converged(6.0, expected={"A", "B", "C"})
+    c.run(1.5)
+    assert dicts["C"].synced
+    assert dicts["C"].get("pre-growth") == 1
+
+
+def test_added_node_eligible_for_merge():
+    c = make_cluster("AB")
+    c.start_all()
+    c.add_node("C")
+    c.run_until_converged(6.0, expected={"A", "B", "C"})
+    c.faults.partition(["A", "B"], ["C"])
+    c.run(3.0)
+    assert c.node("C").members == ("C",)
+    c.faults.heal_partition()
+    # The newcomer was added to everyone's Eligible Membership, so the
+    # discovery/merge machinery pulls it back in.
+    assert c.run_until_converged(10.0, expected={"A", "B", "C"})
+
+
+def test_duplicate_add_rejected():
+    c = make_cluster("AB")
+    c.start_all()
+    with pytest.raises(ValueError):
+        c.add_node("A")
+
+
+def test_add_node_multi_segment():
+    c = make_cluster("AB", segments=2)
+    c.start_all()
+    cn = c.add_node("C")
+    assert len(cn.addresses) == 2
+    assert c.run_until_converged(6.0, expected={"A", "B", "C"})

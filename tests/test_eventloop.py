@@ -1,0 +1,147 @@
+"""Unit tests for the deterministic discrete-event loop."""
+
+import pytest
+
+from repro.net.eventloop import EventLoop
+
+
+def test_call_later_fires_in_order():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(0.3, fired.append, "c")
+    loop.call_later(0.1, fired.append, "a")
+    loop.call_later(0.2, fired.append, "b")
+    loop.run_until_idle()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    loop = EventLoop()
+    fired = []
+    for tag in range(10):
+        loop.call_later(1.0, fired.append, tag)
+    loop.run_until_idle()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_same_time_ties():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(1.0, fired.append, "low", priority=5)
+    loop.call_later(1.0, fired.append, "high", priority=-5)
+    loop.run_until_idle()
+    assert fired == ["high", "low"]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.call_later(2.5, lambda: seen.append(loop.now))
+    loop.run_until_idle()
+    assert seen == [2.5]
+
+
+def test_cancel_prevents_execution():
+    loop = EventLoop()
+    fired = []
+    handle = loop.call_later(1.0, fired.append, "x")
+    handle.cancel()
+    loop.run_until_idle()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    handle = loop.call_later(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert loop.run_until_idle() == 0
+
+
+def test_cannot_schedule_in_the_past():
+    loop = EventLoop()
+    loop.call_later(1.0, lambda: None)
+    loop.run_until_idle()
+    with pytest.raises(ValueError):
+        loop.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.call_later(-0.1, lambda: None)
+
+
+def test_run_until_respects_deadline():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(1.0, fired.append, "early")
+    loop.call_later(5.0, fired.append, "late")
+    loop.run_until(2.0)
+    assert fired == ["early"]
+    assert loop.now == 2.0  # clock parked exactly at the deadline
+
+
+def test_run_for_composes():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(1.5, fired.append, "x")
+    loop.run_for(1.0)
+    assert fired == []
+    loop.run_for(1.0)
+    assert fired == ["x"]
+    assert loop.now == 2.0
+
+
+def test_events_scheduled_during_run_execute():
+    loop = EventLoop()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        loop.call_later(0.5, fired.append, "inner")
+
+    loop.call_later(1.0, outer)
+    loop.run_until(2.0)
+    assert fired == ["outer", "inner"]
+
+
+def test_seeded_rng_is_deterministic():
+    a = EventLoop(seed=99)
+    b = EventLoop(seed=99)
+    assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+
+
+def test_run_until_idle_guards_against_runaway():
+    loop = EventLoop()
+
+    def respawn():
+        loop.call_later(0.001, respawn)
+
+    loop.call_later(0.001, respawn)
+    with pytest.raises(RuntimeError):
+        loop.run_until_idle(max_events=100)
+
+
+def test_run_until_max_events_guard():
+    loop = EventLoop()
+    for _ in range(50):
+        loop.call_later(0.5, lambda: None)
+    with pytest.raises(RuntimeError):
+        loop.run_until(1.0, max_events=10)
+
+
+def test_events_processed_counter():
+    loop = EventLoop()
+    for _ in range(3):
+        loop.call_later(0.1, lambda: None)
+    loop.run_until_idle()
+    assert loop.events_processed == 3
+
+
+def test_peek_time_skips_cancelled():
+    loop = EventLoop()
+    h = loop.call_later(0.1, lambda: None)
+    loop.call_later(0.7, lambda: None)
+    h.cancel()
+    assert loop.peek_time() == pytest.approx(0.7)

@@ -1,0 +1,108 @@
+"""Unit tests for listener plumbing (events module)."""
+
+from repro.core.events import (
+    CompositeListener,
+    Delivery,
+    RecordingListener,
+    SessionListener,
+    ViewChange,
+    ensure_composite,
+)
+from repro.core.states import NodeState
+from repro.core.token import Ordering
+
+
+def view(members=("A", "B"), vid=1, at=0.0):
+    return ViewChange(vid, members, at)
+
+
+def delivery(payload="x", origin="A"):
+    return Delivery(origin, 1, payload, Ordering.AGREED, 0.0)
+
+
+def test_base_listener_is_noop():
+    listener = SessionListener()
+    listener.on_view_change(view())
+    listener.on_deliver(delivery())
+    listener.on_state_change(NodeState.HUNGRY, NodeState.EATING)
+    listener.on_shutdown("bye")  # nothing raised
+
+
+def test_recording_listener_records_everything():
+    rec = RecordingListener()
+    rec.on_view_change(view())
+    rec.on_deliver(delivery("p1"))
+    rec.on_deliver(delivery("p2"))
+    rec.on_state_change(NodeState.HUNGRY, NodeState.EATING)
+    rec.on_shutdown("reason")
+    assert rec.current_members == ("A", "B")
+    assert rec.delivered_payloads == ["p1", "p2"]
+    assert rec.delivery_keys == [("A", 1), ("A", 1)]
+    assert rec.transitions == [(NodeState.HUNGRY, NodeState.EATING)]
+    assert rec.shutdowns == ["reason"]
+
+
+def test_recording_listener_empty_accessors():
+    rec = RecordingListener()
+    assert rec.current_members == ()
+    assert rec.delivered_payloads == []
+
+
+def test_composite_fans_out_in_order():
+    calls = []
+
+    class Tagged(SessionListener):
+        def __init__(self, tag):
+            self.tag = tag
+
+        def on_deliver(self, d):
+            calls.append(self.tag)
+
+    composite = CompositeListener(Tagged(1), Tagged(2))
+    composite.add(Tagged(3))
+    composite.on_deliver(delivery())
+    assert calls == [1, 2, 3]
+
+
+def test_composite_forwards_all_event_kinds():
+    rec = RecordingListener()
+    composite = CompositeListener(rec)
+    composite.on_view_change(view())
+    composite.on_deliver(delivery())
+    composite.on_state_change(NodeState.HUNGRY, NodeState.EATING)
+    composite.on_shutdown("x")
+    assert rec.views and rec.deliveries and rec.transitions and rec.shutdowns
+
+
+def test_composite_remove():
+    rec = RecordingListener()
+    composite = CompositeListener(rec)
+    composite.remove(rec)
+    composite.on_deliver(delivery())
+    assert rec.deliveries == []
+
+
+class _FakeNode:
+    def __init__(self):
+        self.listener = RecordingListener()
+
+
+def test_ensure_composite_wraps_once():
+    node = _FakeNode()
+    original = node.listener
+    composite = ensure_composite(node)
+    assert isinstance(node.listener, CompositeListener)
+    assert original in node.listener.listeners
+    again = ensure_composite(node)
+    assert again is composite  # no double wrapping
+
+
+def test_ensure_composite_preserves_original_events():
+    node = _FakeNode()
+    original = node.listener
+    composite = ensure_composite(node)
+    extra = RecordingListener()
+    composite.add(extra)
+    node.listener.on_deliver(delivery("both"))
+    assert original.delivered_payloads == ["both"]
+    assert extra.delivered_payloads == ["both"]

@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; this keeps them from rotting.
+Marked slow (each spawns a fresh interpreter).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """If an example is added, it must be in the run list below."""
+    assert ALL_EXAMPLES == [
+        "asyncio_udp_demo.py",
+        "hierarchical_cluster.py",
+        "lock_manager_demo.py",
+        "multiprocess_demo.py",
+        "nat_cluster.py",
+        "quickstart.py",
+        "rainwall_cluster.py",
+        "split_brain_merge.py",
+        "vip_failover.py",
+    ]
+
+
+@pytest.mark.parametrize("example", ALL_EXAMPLES)
+def test_example_runs_clean(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example} produced no output"
+    assert "Traceback" not in result.stderr

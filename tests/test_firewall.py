@@ -1,0 +1,59 @@
+"""Unit tests for the rule-based packet filter."""
+
+import pytest
+
+from repro.apps.firewall import ALLOW_WEB_POLICY, Action, Firewall, Rule
+from repro.apps.traffic import Flow
+
+
+def flow(src="client-1", vip="10.1.0.1", port=80):
+    return Flow(1, vip, src, port, 1000.0)
+
+
+def test_default_deny():
+    fw = Firewall()
+    assert not fw.permits(flow())
+    assert fw.denied == 1
+
+
+def test_allow_web_policy():
+    fw = Firewall(list(ALLOW_WEB_POLICY))
+    assert fw.permits(flow(port=80))
+    assert not fw.permits(flow(port=22))
+    assert fw.allowed == 1
+    assert fw.denied == 1
+
+
+def test_first_match_wins():
+    fw = Firewall(
+        [
+            Rule(Action.DENY, src="client-666*"),
+            Rule(Action.ALLOW, dst_port=80),
+        ]
+    )
+    assert not fw.permits(flow(src="client-666"))
+    assert fw.permits(flow(src="client-7"))
+
+
+def test_glob_matching_on_src_and_vip():
+    fw = Firewall([Rule(Action.ALLOW, src="client-*", vip="10.1.*")])
+    assert fw.permits(flow(src="client-9", vip="10.1.0.2"))
+    assert not fw.permits(flow(src="attacker", vip="10.1.0.2"))
+    assert not fw.permits(flow(src="client-9", vip="192.168.0.1"))
+
+
+def test_wildcard_fields_match_anything():
+    fw = Firewall([Rule(Action.ALLOW)])
+    assert fw.permits(flow(src="anyone", vip="anywhere", port=12345))
+
+
+def test_invalid_action_rejected():
+    with pytest.raises(ValueError):
+        Rule("permit")
+
+
+def test_add_rule_appends():
+    fw = Firewall([Rule(Action.DENY, dst_port=23)])
+    fw.add_rule(Rule(Action.ALLOW, dst_port=80))
+    assert fw.permits(flow(port=80))
+    assert not fw.permits(flow(port=23))

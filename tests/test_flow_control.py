@@ -1,0 +1,69 @@
+"""Tests for token flow control (the max_token_bytes budget)."""
+
+import pytest
+
+from repro.core.config import RaincoreConfig
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+def make_capped(cap=4096, **kw):
+    cfg = RaincoreConfig.tuned(ring_size=4, max_token_bytes=cap, **kw)
+    c = make_cluster("ABCD", config=cfg)
+    c.start_all()
+    return c
+
+
+def test_config_validates_cap():
+    with pytest.raises(ValueError):
+        RaincoreConfig(max_token_bytes=100)
+
+
+def test_token_stays_under_budget_during_burst():
+    c = make_capped(cap=4096)
+    cap_with_slack = 4096 + 2048  # one oversized head may exceed
+    # Burst: 100 messages of 500 B from one node = 50 KB queued at once.
+    for i in range(100):
+        c.node("A").multicast(f"{i:0>500}", size=500)
+    max_seen = 0
+    for _ in range(4000):
+        c.run(0.001)
+        for node in c.live_nodes():
+            if node.has_token:
+                max_seen = max(max_seen, node._live_token.wire_size())
+    assert max_seen <= cap_with_slack, max_seen
+    # Despite the cap, everything is eventually delivered, in order.
+    c.run(3.0)
+    for nid in "ABCD":
+        payloads = [d.payload for d in c.listener(nid).deliveries]
+        assert len(payloads) == 100
+        assert payloads == sorted(payloads, key=lambda p: int(p))
+
+
+def test_oversized_message_still_attaches_alone():
+    """A message bigger than the whole budget must not deadlock: it rides
+    an otherwise-empty token."""
+    c = make_capped(cap=2048)
+    c.node("B").multicast("X" * 8000, size=8000)
+    c.run(2.0)
+    for nid in "ABCD":
+        assert len(c.listener(nid).deliveries) == 1
+
+
+def test_flow_control_defers_but_preserves_order():
+    c = make_capped(cap=2048)
+    c.node("C").multicast("big-first", size=1800)
+    c.node("C").multicast("small-second", size=10)
+    c.run(2.0)
+    for nid in "ABCD":
+        payloads = [d.payload for d in c.listener(nid).deliveries]
+        assert payloads == ["big-first", "small-second"]
+
+
+def test_generous_cap_changes_nothing():
+    c = make_capped(cap=10_000_000)
+    for i in range(20):
+        c.node("ABCD"[i % 4]).multicast(i)
+    c.run(2.0)
+    assert all(len(c.listener(n).deliveries) == 20 for n in "ABCD")

@@ -1,0 +1,151 @@
+"""Tests for the hierarchical extension (paper §5 future work)."""
+
+import pytest
+
+from repro.hierarchy import HierarchicalCluster
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+def make_hier(shape=((3, 3, 3)), seed=4):
+    groups = []
+    for gi, size in enumerate(shape):
+        letter = chr(ord("a") + gi)
+        groups.append([f"{letter}{i}" for i in range(1, size + 1)])
+    h = HierarchicalCluster(groups, seed=seed)
+    h.start()
+    return h
+
+
+def test_formation_two_planes():
+    h = make_hier()
+    assert h.current_leaders() == ["a1", "b1", "c1"]
+    assert set(h.top_view()) == {"a1^t", "b1^t", "c1^t"}
+    for group in h.groups:
+        for nid in group:
+            assert set(h.members[nid].local.members) == set(group)
+
+
+def test_only_leaders_in_top_ring():
+    h = make_hier()
+    for nid, member in h.members.items():
+        if nid in h.current_leaders():
+            assert member.top_active
+        else:
+            assert not member.top_active
+
+
+def test_local_multicast_scoped_to_subgroup():
+    h = make_hier()
+    h.members["b2"].multicast_local("b-only")
+    h.run(1.0)
+    for nid in ("b1", "b2", "b3"):
+        assert ("b2", "b-only") in h.local_log[nid]
+    for nid in ("a1", "a2", "a3", "c1", "c2", "c3"):
+        assert h.local_log[nid] == []
+
+
+def test_global_multicast_reaches_every_machine():
+    h = make_hier()
+    h.members["a2"].multicast_global("to-all")
+    h.run(3.0)
+    for nid in h.machine_ids:
+        assert ("a2", "to-all") in h.global_log[nid]
+
+
+def test_global_delivery_exactly_once():
+    h = make_hier()
+    for i in range(5):
+        h.members["c3"].multicast_global(f"g{i}")
+    h.run(4.0)
+    for nid in h.machine_ids:
+        keys = h.global_log[nid]
+        assert len(keys) == len(set(keys)) == 5
+
+
+def test_global_order_identical_everywhere():
+    """The top ring's token order is the single global order."""
+    h = make_hier()
+    for i, sender in enumerate(["a1", "b2", "c3", "a3", "b1", "c2"] * 2):
+        h.members[sender].multicast_global(f"{sender}-{i}")
+    h.run(5.0)
+    orders = [tuple(h.global_log[nid]) for nid in h.machine_ids]
+    assert all(o == orders[0] for o in orders[1:])
+    assert len(orders[0]) == 12
+
+
+def test_nonleader_crash_is_local_affair():
+    h = make_hier()
+    top_before = set(h.top_view())
+    h.crash_machine("b3")
+    h.run(4.0)
+    assert set(h.members["b1"].local.members) == {"b1", "b2"}
+    # Other groups and the top ring are untouched.
+    assert set(h.members["a1"].local.members) == {"a1", "a2", "a3"}
+    assert set(h.top_view()) == top_before
+
+
+def test_leader_crash_promotes_next_member():
+    h = make_hier()
+    h.crash_machine("a1")
+    assert h.run_until_formed(10.0), (h.local_views(), h.top_view())
+    assert h.current_leaders() == ["a2", "b1", "c1"]
+    assert set(h.top_view()) == {"a2^t", "b1^t", "c1^t"}
+
+
+def test_global_multicast_survives_leader_failover():
+    h = make_hier()
+    h.crash_machine("b1")
+    h.run_until_formed(10.0)
+    h.members["b3"].multicast_global("after-failover")
+    h.run(4.0)
+    for nid in h.live_machines():
+        assert ("b3", "after-failover") in h.global_log[nid]
+
+
+def test_in_flight_global_reforwarded_after_leader_crash():
+    """A global sent just before its group's leader dies is still relayed
+    by the successor (at-least-once relay, exactly-once delivery)."""
+    h = make_hier(seed=9)
+    h.members["a2"].multicast_global("racing-the-crash")
+    h.run(0.005)  # leader has likely not relayed yet
+    h.crash_machine("a1")
+    h.run_until_formed(12.0)
+    h.run(4.0)
+    for nid in h.live_machines():
+        entries = [e for e in h.global_log[nid] if e == ("a2", "racing-the-crash")]
+        assert len(entries) == 1, (nid, h.global_log[nid])
+
+
+def test_whole_group_crash_removes_it_from_top():
+    h = make_hier()
+    for nid in ("c1", "c2", "c3"):
+        h.crash_machine(nid)
+    h.run(6.0)
+    assert h.current_leaders() == ["a1", "b1"]
+    assert set(h.top_view()) == {"a1^t", "b1^t"}
+    h.members["a3"].multicast_global("two-groups-left")
+    h.run(3.0)
+    for nid in h.live_machines():
+        assert ("a3", "two-groups-left") in h.global_log[nid]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HierarchicalCluster([])
+    with pytest.raises(ValueError):
+        HierarchicalCluster([["a"], []])
+    with pytest.raises(ValueError):
+        HierarchicalCluster([["a"], ["a"]])
+    with pytest.raises(ValueError):
+        HierarchicalCluster([["bad^t"]])
+
+
+def test_uneven_groups():
+    h = HierarchicalCluster([["a1"], ["b1", "b2", "b3", "b4"]], seed=6)
+    h.start()
+    assert h.current_leaders() == ["a1", "b1"]
+    h.members["b4"].multicast_global("uneven")
+    h.run(3.0)
+    for nid in h.machine_ids:
+        assert ("b4", "uneven") in h.global_log[nid]

@@ -1,0 +1,79 @@
+"""Property-based tests for the hierarchical extension."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy import HierarchicalCluster
+
+
+@st.composite
+def group_shapes(draw):
+    """1–4 groups of 1–4 machines each."""
+    n_groups = draw(st.integers(1, 4))
+    return [draw(st.integers(1, 4)) for _ in range(n_groups)]
+
+
+def build(shape, seed):
+    groups = []
+    for gi, size in enumerate(shape):
+        letter = chr(ord("a") + gi)
+        groups.append([f"{letter}{i}" for i in range(size)])
+    h = HierarchicalCluster(groups, seed=seed)
+    h.start(budget=10.0 + 2 * sum(shape))
+    return h
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(shape=group_shapes(), seed=st.integers(0, 2**16))
+def test_any_shape_forms_two_planes(shape, seed):
+    h = build(shape, seed)
+    assert h.formed()
+    leaders = h.current_leaders()
+    assert len(leaders) == len(shape)
+    assert set(h.top_view()) == {ldr + "^t" for ldr in leaders}
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    shape=group_shapes(),
+    seed=st.integers(0, 2**16),
+    senders=st.lists(st.integers(0, 100), min_size=1, max_size=6),
+)
+def test_global_multicast_total_order_any_shape(shape, seed, senders):
+    h = build(shape, seed)
+    machines = h.machine_ids
+    for i, s in enumerate(senders):
+        h.members[machines[s % len(machines)]].multicast_global(f"g{i}")
+    h.run(6.0)
+    logs = [tuple(h.global_log[nid]) for nid in machines]
+    assert all(log == logs[0] for log in logs), logs
+    assert len(logs[0]) == len(senders)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    shape=st.lists(st.integers(2, 3), min_size=2, max_size=3),
+    seed=st.integers(0, 2**16),
+    crash_group=st.integers(0, 2),
+)
+def test_leader_crash_recovers_any_shape(shape, seed, crash_group):
+    h = build(shape, seed)
+    groups = h.groups
+    victim_group = groups[crash_group % len(groups)]
+    victim = min(victim_group)  # the leader
+    h.members[victim].multicast_global("pre-crash")
+    h.run(3.0)
+    h.crash_machine(victim)
+    assert h.run_until_formed(20.0), (h.local_views(), h.top_view())
+    # The new leader of the victim's group is the next-lowest member.
+    survivors = sorted(set(victim_group) - {victim})
+    assert survivors[0] in h.current_leaders()
+    # Global multicast still reaches every live machine exactly once.
+    origin = survivors[-1]
+    h.members[origin].multicast_global("post-crash")
+    h.run(5.0)
+    for nid in h.live_machines():
+        entries = [e for e in h.global_log[nid] if e[1] == "post-crash"]
+        assert len(entries) == 1

@@ -1,0 +1,60 @@
+"""Unit tests for ring-membership helper functions."""
+
+import pytest
+
+from repro.core.membership import (
+    merge_rings,
+    ring_predecessor,
+    ring_successor,
+    rotate_to,
+)
+
+
+def test_successor_and_predecessor():
+    ring = ("A", "B", "C")
+    assert ring_successor(ring, "A") == "B"
+    assert ring_successor(ring, "C") == "A"
+    assert ring_predecessor(ring, "A") == "C"
+    assert ring_predecessor(ring, "B") == "A"
+
+
+def test_singleton_ring():
+    assert ring_successor(("A",), "A") == "A"
+    assert ring_predecessor(("A",), "A") == "A"
+
+
+def test_rotate_to():
+    assert rotate_to(("A", "B", "C", "D"), "C") == ("C", "D", "A", "B")
+    assert rotate_to(("A",), "A") == ("A",)
+
+
+def test_rotate_to_unknown_raises():
+    with pytest.raises(ValueError):
+        rotate_to(("A", "B"), "Z")
+
+
+def test_merge_rings_splices_after_joiner():
+    # TBM ring: X-Y-J (J just added); J's own group: J-P-Q.
+    merged = merge_rings(("X", "Y", "J"), "J", ("J", "P", "Q"))
+    assert merged == ("X", "Y", "J", "P", "Q")
+
+
+def test_merge_rings_preserves_other_cyclic_order():
+    # J's own ring is P-Q-J; rotated from J it reads J-P-Q.
+    merged = merge_rings(("X", "J", "Y"), "J", ("P", "Q", "J"))
+    assert merged == ("X", "J", "P", "Q", "Y")
+
+
+def test_merge_rings_skips_already_present():
+    merged = merge_rings(("X", "J", "P"), "J", ("J", "P", "Q"))
+    assert merged == ("X", "J", "Q", "P")
+
+
+def test_merge_rings_requires_joiner_in_base():
+    with pytest.raises(ValueError):
+        merge_rings(("X", "Y"), "J", ("J",))
+
+
+def test_merge_rings_no_duplicates():
+    merged = merge_rings(("A", "B", "J"), "J", ("J", "C", "B"))
+    assert sorted(merged) == ["A", "B", "C", "J"]

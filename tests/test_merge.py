@@ -1,0 +1,172 @@
+"""Tests for split-brain discovery and group merge (paper §2.4)."""
+
+import pytest
+
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+def split_views(cluster, groups):
+    """All groups independently functional with their own memberships."""
+    views = cluster.membership_views()
+    return all(
+        all(set(views.get(m, ())) == set(g) for m in g) for g in groups
+    )
+
+
+# ----------------------------------------------------------------------
+# split-brain operation
+# ----------------------------------------------------------------------
+def test_partition_forms_independent_subgroups(abcd):
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.run(4.0)
+    assert split_views(abcd, [["A", "B"], ["C", "D"]])
+
+
+def test_subgroups_have_distinct_group_ids(abcd):
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.run(4.0)
+    assert abcd.node("A").group_id == "A"
+    assert abcd.node("C").group_id == "C"
+
+
+def test_both_subgroups_multicast_independently(abcd):
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.run(4.0)
+    abcd.node("A").multicast("left")
+    abcd.node("C").multicast("right")
+    abcd.run(2.0)
+    assert "left" in abcd.listener("B").delivered_payloads
+    assert "left" not in abcd.listener("C").delivered_payloads
+    assert "right" in abcd.listener("D").delivered_payloads
+    assert "right" not in abcd.listener("A").delivered_payloads
+
+
+# ----------------------------------------------------------------------
+# discovery
+# ----------------------------------------------------------------------
+def test_beacons_flow_between_subgroups(abcd):
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.run(4.0)
+    abcd.faults.heal_partition()
+    abcd.run(2 * abcd.config.bodyodor_interval + 0.5)
+    beacons = sum(abcd.node(n).merge.beacons_sent for n in "ABCD")
+    assert beacons > 0
+
+
+def test_no_beacons_when_group_complete(abcd):
+    abcd.run(3 * abcd.config.bodyodor_interval)
+    assert all(abcd.node(n).merge.beacons_sent == 0 for n in "ABCD")
+
+
+def test_beacons_only_to_eligible():
+    c = make_cluster("ABCD")
+    c.start_all()
+    # Restrict eligibility: C and D are not eligible anywhere.
+    for nid in "ABCD":
+        c.node(nid).set_eligible({"A", "B"})
+    c.faults.partition(["A", "B"], ["C", "D"])
+    c.run(4.0)
+    c.faults.heal_partition()
+    c.run(5.0)
+    # A/B's group never merges with ineligible C/D.
+    assert set(c.node("A").members) == {"A", "B"}
+    assert set(c.node("C").members) == {"C", "D"}
+
+
+# ----------------------------------------------------------------------
+# merge
+# ----------------------------------------------------------------------
+def test_two_way_merge(abcd):
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.run(4.0)
+    abcd.faults.heal_partition()
+    assert abcd.run_until_converged(10.0, expected=set("ABCD"))
+
+
+def test_merge_direction_lower_gid_joins_higher(abcd):
+    """The group containing the lower group id is absorbed by the higher:
+    the C/D group initiates (C's gid > A's gid means A-side sends beacons
+    that C treats as joins)."""
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.run(4.0)
+    abcd.faults.heal_partition()
+    abcd.run_until_converged(10.0, expected=set("ABCD"))
+    initiations = {n: abcd.node(n).merge.merges_initiated for n in "ABCD"}
+    completions = {n: abcd.node(n).merge.merges_completed for n in "ABCD"}
+    # Initiator must be in the higher-gid group (C or D).
+    assert initiations["C"] + initiations["D"] >= 1
+    assert initiations["A"] + initiations["B"] == 0
+    # The completing (TBM-holding) node is in the lower-gid group.
+    assert completions["A"] + completions["B"] >= 1
+
+
+def test_three_way_merge():
+    c = make_cluster("ABCDEF", seed=21)
+    c.start_all()
+    c.faults.partition(["A", "B"], ["C", "D"], ["E", "F"])
+    c.run(4.0)
+    assert split_views(c, [["A", "B"], ["C", "D"], ["E", "F"]])
+    c.faults.heal_partition()
+    assert c.run_until_converged(20.0, expected=set("ABCDEF"))
+
+
+def test_singleton_partitions_merge():
+    c = make_cluster("ABC", seed=4)
+    c.start_all()
+    c.faults.partition(["A"], ["B"], ["C"])
+    c.run(4.0)
+    views = c.membership_views()
+    assert all(views[n] == (n,) for n in "ABC")
+    c.faults.heal_partition()
+    assert c.run_until_converged(20.0, expected=set("ABC"))
+
+
+def test_uneven_partition_merge(abcd):
+    abcd.faults.partition(["A", "B", "C"], ["D"])
+    abcd.run(4.0)
+    abcd.faults.heal_partition()
+    assert abcd.run_until_converged(10.0, expected=set("ABCD"))
+
+
+def test_multicast_resumes_after_merge(abcd):
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.run(4.0)
+    abcd.faults.heal_partition()
+    abcd.run_until_converged(10.0, expected=set("ABCD"))
+    abcd.node("D").multicast("post-merge")
+    abcd.run(2.0)
+    for nid in "ABCD":
+        assert "post-merge" in abcd.listener(nid).delivered_payloads
+
+
+def test_merge_preserves_in_flight_subgroup_messages(abcd):
+    """Messages attached in a sub-group still reach that sub-group's
+    members even when the merge happens immediately after sending."""
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.run(4.0)
+    abcd.node("C").multicast("cd-internal")
+    abcd.faults.heal_partition()
+    abcd.run_until_converged(10.0, expected=set("ABCD"))
+    abcd.run(1.0)
+    assert "cd-internal" in abcd.listener("C").delivered_payloads
+    assert "cd-internal" in abcd.listener("D").delivered_payloads
+
+
+def test_repeated_split_and_merge(abcd):
+    for i in range(3):
+        abcd.faults.partition(["A", "B"], ["C", "D"])
+        abcd.run(3.0)
+        abcd.faults.heal_partition()
+        assert abcd.run_until_converged(12.0, expected=set("ABCD")), f"cycle {i}"
+
+
+def test_merged_ring_has_no_duplicates(abcd):
+    abcd.faults.partition(["A", "C"], ["B", "D"])
+    abcd.run(4.0)
+    abcd.faults.heal_partition()
+    abcd.run_until_converged(10.0, expected=set("ABCD"))
+    for n in "ABCD":
+        ring = abcd.node(n).members
+        assert len(ring) == len(set(ring)) == 4

@@ -1,0 +1,72 @@
+"""Property-based tests: k-way partitions with replicated state.
+
+Randomized partition shapes over a 6-node cluster with a SharedDict on
+every member: after split-brain operation (each side keeps writing) and a
+heal, the whole cluster must converge to one membership and one identical
+dictionary state — for *any* shape hypothesis draws.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.harness import RaincoreCluster
+from repro.data import SharedDict
+
+NODES = list("ABCDEF")
+
+
+@st.composite
+def partitions(draw):
+    """A random split of NODES into 2–4 non-empty groups."""
+    k = draw(st.integers(2, 4))
+    assignment = [draw(st.integers(0, k - 1)) for _ in NODES]
+    # Ensure no empty groups by pinning the first k nodes.
+    for g in range(k):
+        assignment[g] = g
+    groups: list[list[str]] = [[] for _ in range(k)]
+    for nid, g in zip(NODES, assignment):
+        groups[g].append(nid)
+    return groups
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(groups=partitions(), seed=st.integers(0, 2**16))
+def test_any_partition_shape_merges_back(groups, seed):
+    cluster = RaincoreCluster(NODES, seed=seed)
+    cluster.start_all()
+    cluster.faults.partition(*groups)
+    cluster.run(3.0)
+    # Every sub-group is independently functional.
+    for group in groups:
+        views = {tuple(sorted(cluster.node(n).members)) for n in group}
+        assert views == {tuple(sorted(group))}, (groups, views)
+    cluster.faults.heal_partition()
+    assert cluster.run_until_converged(30.0, expected=set(NODES)), (
+        groups,
+        cluster.membership_views(),
+    )
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    groups=partitions(),
+    seed=st.integers(0, 2**16),
+    writes=st.lists(st.integers(0, 5), min_size=1, max_size=6),
+)
+def test_replicated_state_reconciles_any_shape(groups, seed, writes):
+    cluster = RaincoreCluster(NODES, seed=seed)
+    dicts = {nid: SharedDict(cluster.node(nid)) for nid in NODES}
+    cluster.start_all()
+    cluster.faults.partition(*groups)
+    cluster.run(3.0)
+    for i, w in enumerate(writes):
+        writer = NODES[w]
+        dicts[writer].set(f"k{i}", writer)
+    cluster.run(1.5)
+    cluster.faults.heal_partition()
+    assert cluster.run_until_converged(30.0, expected=set(NODES))
+    cluster.run(2.5)
+    snaps = [dicts[nid].snapshot() for nid in NODES]
+    assert all(s == snaps[0] for s in snaps), (groups, snaps)

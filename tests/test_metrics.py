@@ -1,0 +1,75 @@
+"""Unit tests for the experiment reporting helpers."""
+
+import pytest
+
+from repro.metrics import Table, fmt, ratio
+
+
+def test_fmt_ints_with_separators():
+    assert fmt(1234567) == "1,234,567"
+    assert fmt(0) == "0"
+
+
+def test_fmt_floats_precision():
+    assert fmt(3.14159, 2) == "3.14"
+    assert fmt(3.14159, 4) == "3.1416"
+
+
+def test_fmt_scientific_for_extremes():
+    assert "e" in fmt(1.5e9)
+    assert "e" in fmt(0.0000015)
+    assert fmt(0.0) == "0.00"
+
+
+def test_fmt_none_and_strings():
+    assert fmt(None) == "-"
+    assert fmt("abc") == "abc"
+    assert fmt(True) == "True"
+
+
+def test_ratio():
+    assert ratio(10, 4) == 2.5
+    assert ratio(1, 0) is None
+
+
+def test_table_row_arity_checked():
+    t = Table("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_table_render_contains_everything():
+    t = Table("My Results", ["metric", "value"])
+    t.add_row("speedup", 2.5)
+    t.add_row("count", 1000)
+    t.add_note("a caveat")
+    out = t.render()
+    assert "My Results" in out
+    assert "speedup" in out and "2.50" in out
+    assert "1,000" in out
+    assert "note: a caveat" in out
+
+
+def test_table_render_alignment():
+    t = Table("t", ["col"])
+    t.add_row("x")
+    lines = t.render().splitlines()
+    header_width = len(lines[2])
+    assert all(len(line) <= max(header_width, len(lines[0])) + 2 for line in lines)
+
+
+def test_table_markdown():
+    t = Table("T", ["a", "b"])
+    t.add_row(1, 2)
+    t.add_note("n")
+    md = t.to_markdown()
+    assert "**T**" in md
+    assert "| a | b |" in md
+    assert "|---|---|" in md
+    assert "| 1 | 2 |" in md
+    assert "*n*" in md
+
+
+def test_empty_table_renders():
+    t = Table("empty", ["a"])
+    assert "empty" in t.render()

@@ -1,0 +1,133 @@
+"""Tests for the clustered stateful NAT (shared application state)."""
+
+import pytest
+
+from repro.apps.nat import NatTable
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture
+def nat_cluster():
+    c = make_cluster("ABCD")
+    tables = {
+        nid: NatTable(c.node(nid), port_range=(40000, 40099)) for nid in "ABCD"
+    }
+    c.start_all()
+    return c, tables
+
+
+def test_allocation_assigns_port(nat_cluster):
+    c, tables = nat_cluster
+    got = []
+    tables["A"].allocate(1, "10.0.0.7:4312", on_mapped=got.append)
+    c.run(1.0)
+    assert got and got[0].public_port == 40000
+    assert got[0].client == "10.0.0.7:4312"
+    assert got[0].gateway == "A"
+
+
+def test_replicas_agree_on_full_table(nat_cluster):
+    c, tables = nat_cluster
+    for i in range(12):
+        tables["ABCD"[i % 4]].allocate(i, f"c{i}")
+    c.run(2.0)
+    snaps = [tables[nid].snapshot() for nid in "ABCD"]
+    assert all(s == snaps[0] for s in snaps)
+    assert len(snaps[0]) == 12
+
+
+def test_concurrent_allocations_get_unique_ports(nat_cluster):
+    """The headline guarantee: no two gateways ever hand out one port."""
+    c, tables = nat_cluster
+    for i in range(40):
+        tables["ABCD"[i % 4]].allocate(i, f"c{i}")
+    c.run(3.0)
+    ports = list(tables["A"].snapshot().values())
+    assert len(ports) == len(set(ports)) == 40
+
+
+def test_release_and_fifo_reuse(nat_cluster):
+    c, tables = nat_cluster
+    tables["A"].allocate(1, "c1")
+    tables["A"].allocate(2, "c2")
+    c.run(1.0)
+    port1 = tables["B"].translation(1).public_port
+    tables["B"].release(1)
+    c.run(1.0)
+    for nid in "ABCD":
+        assert tables[nid].translation(1) is None
+    got = []
+    tables["C"].allocate(3, "c3", on_mapped=got.append)
+    c.run(1.0)
+    assert got[0].public_port == port1  # freed port reused first
+
+
+def test_pool_exhaustion_reports_none():
+    c = make_cluster("AB")
+    tables = {nid: NatTable(c.node(nid), port_range=(50000, 50002)) for nid in "AB"}
+    c.start_all()
+    results = []
+    for i in range(5):
+        tables["A"].allocate(i, f"c{i}", on_mapped=results.append)
+    c.run(2.0)
+    ok = [r for r in results if r is not None]
+    failed = [r for r in results if r is None]
+    assert len(ok) == 3 and len(failed) == 2
+    assert tables["B"].failures == 2
+
+
+def test_translation_survives_gateway_failure(nat_cluster):
+    """Transparent fail-over: the adopted connection keeps its public port."""
+    c, tables = nat_cluster
+    tables["D"].allocate(7, "client-x")
+    c.run(1.0)
+    port = tables["A"].translation(7).public_port
+    c.faults.crash_node("D")
+    c.run_until_converged(3.0, expected={"A", "B", "C"})
+    for nid in "ABC":
+        mapping = tables[nid].translation(7)
+        assert mapping is not None and mapping.public_port == port
+
+
+def test_rejoined_gateway_resyncs_nothing_breaks(nat_cluster):
+    """A rejoining gateway misses ops but never conflicts: it only ever
+    allocates through the shared order, which survivors kept moving."""
+    c, tables = nat_cluster
+    c.faults.crash_node("B")
+    c.run_until_converged(3.0, expected={"A", "C", "D"})
+    for i in range(5):
+        tables["A"].allocate(i, f"c{i}")
+    c.run(1.0)
+    c.faults.recover_node("B")
+    c.run_until_converged(6.0, expected=set("ABCD"))
+    got = []
+    tables["B"].allocate(100, "late", on_mapped=got.append)
+    c.run(2.0)
+    # B resynced via the join-time snapshot, so its allocation is unique
+    # against everything the survivors allocated while it was away...
+    assert got[0] is not None
+    b_port = got[0].public_port
+    others = {p for f, p in tables["A"].snapshot().items() if f != 100}
+    assert b_port not in others
+    # ...and its whole replica agrees with the survivors'.
+    assert tables["B"].snapshot() == tables["A"].snapshot()
+
+
+def test_port_range_validated():
+    c = make_cluster("AB")
+    with pytest.raises(ValueError):
+        NatTable(c.node("A"), port_range=(5, 4))
+
+
+def test_duplicate_alloc_idempotent(nat_cluster):
+    c, tables = nat_cluster
+    got = []
+    tables["A"].allocate(1, "c1", on_mapped=got.append)
+    c.run(1.0)
+    tables["A"].allocate(1, "c1", on_mapped=got.append)
+    c.run(1.0)
+    assert len(got) == 2
+    assert got[0].public_port == got[1].public_port
+    assert tables["C"].size() == 1

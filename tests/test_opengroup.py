@@ -1,0 +1,87 @@
+"""Tests for open group communication (paper §2.6, second half)."""
+
+import pytest
+
+from repro.core.token import Ordering
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+def test_outside_node_message_reaches_whole_group(abcd):
+    client = abcd.add_external_client("ext")
+    results = []
+    client.send_to_group("from-outside", on_result=results.append)
+    abcd.run(2.0)
+    assert results and results[0] in set("ABCD")
+    for nid in "ABCD":
+        assert "from-outside" in abcd.listener(nid).delivered_payloads
+
+
+def test_client_is_not_a_member(abcd):
+    abcd.add_external_client("ext")
+    abcd.run(1.0)
+    assert "ext" not in abcd.node("A").members
+
+
+def test_safe_injection(abcd):
+    client = abcd.add_external_client("ext")
+    client.send_to_group("safe-inject", safe=True)
+    abcd.run(3.0)
+    for nid in "ABCD":
+        match = [d for d in abcd.listener(nid).deliveries if d.payload == "safe-inject"]
+        assert match and match[0].ordering is Ordering.SAFE
+
+
+def test_contact_failover(abcd):
+    """The entry member dies; the client retries at the next contact."""
+    client = abcd.add_external_client("ext", contacts=["B", "C"])
+    abcd.faults.crash_node("B")
+    abcd.run_until_converged(3.0, expected={"A", "C", "D"})
+    results = []
+    client.send_to_group("via-backup", on_result=results.append)
+    abcd.run(3.0)
+    assert results == ["C"]
+    for nid in "ACD":
+        assert "via-backup" in abcd.listener(nid).delivered_payloads
+
+
+def test_all_contacts_dead_reports_failure(abcd):
+    client = abcd.add_external_client("ext", contacts=["B"], max_attempts=2)
+    abcd.faults.crash_node("B")
+    abcd.run(1.0)
+    results = []
+    client.send_to_group("lost", on_result=results.append)
+    abcd.run(5.0)
+    assert results == [None]
+
+
+def test_same_contact_dedupes_retries(abcd):
+    """A duplicate injection at the same member multicasts once."""
+    client = abcd.add_external_client("ext", contacts=["A"], ack_timeout=0.01)
+    # The tiny ack timeout forces client-side retries before the ack lands.
+    client.send_to_group("once-only")
+    abcd.run(3.0)
+    for nid in "ABCD":
+        count = abcd.listener(nid).delivered_payloads.count("once-only")
+        assert count == 1
+
+
+def test_multiple_clients(abcd):
+    c1 = abcd.add_external_client("ext1", contacts=["A"])
+    c2 = abcd.add_external_client("ext2", contacts=["D"])
+    c1.send_to_group("m1")
+    c2.send_to_group("m2")
+    abcd.run(2.0)
+    for nid in "ABCD":
+        payloads = abcd.listener(nid).delivered_payloads
+        assert "m1" in payloads and "m2" in payloads
+    # Orders agree, as for any group multicast.
+    orders = list(abcd.all_delivery_orders().values())
+    assert all(o == orders[0] for o in orders[1:])
+
+
+def test_requires_contacts():
+    c = make_cluster("AB")
+    with pytest.raises(ValueError):
+        c.add_external_client("ext", contacts=[])

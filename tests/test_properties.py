@@ -1,0 +1,261 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+DESIGN.md §5 properties P1–P9 are exercised here against randomized inputs:
+pure ring/token algebra first, then whole-cluster runs under randomized
+fault schedules with a quiescent tail (the paper's §2.5 Quiescent Period
+framing: agreement claims hold once change events stop).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.harness import RaincoreCluster
+from repro.core.membership import merge_rings, ring_predecessor, ring_successor, rotate_to
+from repro.core.token import PiggybackedMessage, Token
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+node_names = st.lists(
+    st.text(alphabet="ABCDEFGHIJKLMNOP", min_size=1, max_size=2),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+@st.composite
+def rings(draw, min_size=1, max_size=8):
+    return tuple(draw(node_names.filter(lambda ns: len(ns) >= min_size)))
+
+
+# ----------------------------------------------------------------------
+# ring algebra
+# ----------------------------------------------------------------------
+@given(rings())
+def test_successor_predecessor_inverse(ring):
+    for n in ring:
+        assert ring_predecessor(ring, ring_successor(ring, n)) == n
+        assert ring_successor(ring, ring_predecessor(ring, n)) == n
+
+
+@given(rings())
+def test_successor_orbit_covers_ring(ring):
+    """Following successors from any start visits every node exactly once
+    per cycle — the token's fairness guarantee."""
+    start = ring[0]
+    seen = [start]
+    cur = start
+    for _ in range(len(ring) - 1):
+        cur = ring_successor(ring, cur)
+        seen.append(cur)
+    assert sorted(seen) == sorted(ring)
+    assert ring_successor(ring, cur) == start
+
+
+@given(rings())
+def test_rotate_preserves_cyclic_order(ring):
+    for head in ring:
+        rot = rotate_to(ring, head)
+        assert rot[0] == head
+        assert sorted(rot) == sorted(ring)
+        # successor relation is rotation-invariant
+        for n in ring:
+            assert ring_successor(rot, n) == ring_successor(ring, n)
+
+
+@given(rings(min_size=2), rings(min_size=1))
+def test_merge_rings_union_no_duplicates(base, other):
+    joiner = base[-1]
+    other = tuple(dict.fromkeys((joiner,) + other))  # ensure joiner present
+    merged = merge_rings(base, joiner, other)
+    assert sorted(merged) == sorted(set(base) | set(other))
+
+
+@given(rings(min_size=2), rings(min_size=1))
+def test_merge_rings_keeps_base_order(base, other):
+    joiner = base[0]
+    other = tuple(dict.fromkeys((joiner,) + other))
+    merged = merge_rings(base, joiner, other)
+    base_positions = [merged.index(b) for b in base]
+    # base members keep their relative order in the merged ring
+    filtered = [m for m in merged if m in set(base)]
+    assert tuple(filtered) == base
+
+
+# ----------------------------------------------------------------------
+# token membership editing
+# ----------------------------------------------------------------------
+@given(rings(min_size=2), st.data())
+def test_token_remove_insert_roundtrips(ring, data):
+    token = Token(membership=ring)
+    victim = data.draw(st.sampled_from(ring))
+    anchor_pool = [n for n in ring if n != victim]
+    token.remove_member(victim)
+    assert victim not in token.membership
+    anchor = data.draw(st.sampled_from(anchor_pool))
+    token.insert_after(anchor, victim)
+    assert sorted(token.membership) == sorted(ring)
+    assert token.next_after(anchor) == victim
+
+
+@given(rings(min_size=1), st.lists(st.integers(0, 6), max_size=12))
+def test_token_membership_never_duplicates(ring, ops):
+    """Arbitrary interleavings of remove/insert keep ids unique."""
+    token = Token(membership=ring)
+    pool = list(ring) + ["Z1", "Z2", "Z3"]
+    for op in ops:
+        if not token.membership:
+            break
+        target = pool[op % len(pool)]
+        if token.has_member(target) and len(token.membership) > 1:
+            token.remove_member(target)
+        elif token.membership:
+            token.insert_after(token.membership[0], target)
+        members = token.membership
+        assert len(members) == len(set(members))
+
+
+@given(st.sets(st.sampled_from("ABCDEF"), min_size=1))
+def test_pending_pruning_on_removal(members):
+    ring = tuple(sorted(members)) + ("X",)
+    token = Token(membership=ring)
+    msg = PiggybackedMessage("X", 1, "p", 1, pending=set(ring))
+    token.messages.append(msg)
+    for victim in sorted(members):
+        token.remove_member(victim)
+        assert victim not in msg.pending
+    assert msg.pending == {"X"}
+
+
+# ----------------------------------------------------------------------
+# whole-cluster randomized scenarios
+# ----------------------------------------------------------------------
+FAULT_KINDS = ("crash", "recover", "lose_token", "cut", "restore", "noop")
+
+
+@st.composite
+def fault_schedules(draw):
+    n_events = draw(st.integers(1, 5))
+    return [
+        (
+            draw(st.sampled_from(FAULT_KINDS)),
+            draw(st.integers(0, 3)),  # node index
+            draw(st.integers(1, 3)),  # other node index offset
+            draw(st.floats(0.05, 0.6)),  # inter-event delay
+        )
+        for _ in range(n_events)
+    ]
+
+
+def apply_fault(cluster: RaincoreCluster, kind, idx, offset, node_ids):
+    a = node_ids[idx % len(node_ids)]
+    b = node_ids[(idx + offset) % len(node_ids)]
+    live = {n.node_id for n in cluster.live_nodes()}
+    if kind == "crash" and a in live and len(live) > 1:
+        cluster.faults.crash_node(a)
+    elif kind == "recover" and a not in live and live:
+        cluster.faults.recover_node(a)
+    elif kind == "lose_token":
+        cluster.faults.lose_token()
+    elif kind == "cut" and a != b:
+        cluster.faults.cut_link(a, b)
+    elif kind == "restore" and a != b:
+        cluster.faults.restore_link(a, b)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(schedule=fault_schedules(), seed=st.integers(0, 2**16))
+def test_membership_agreement_after_quiescence(schedule, seed):
+    """P2+P3: after an arbitrary fault schedule followed by a quiescent
+    period with all links restored, every live node converges to the same
+    membership containing exactly the live nodes, and a token exists."""
+    node_ids = ["A", "B", "C", "D"]
+    cluster = RaincoreCluster(node_ids, seed=seed)
+    cluster.start_all()
+    for kind, idx, offset, delay in schedule:
+        apply_fault(cluster, kind, idx, offset, node_ids)
+        cluster.run(delay)
+    # Quiescence: restore all links; crashed nodes stay down (allowed —
+    # node-removal events have already propagated or will via detection).
+    for i, a in enumerate(node_ids):
+        for b in node_ids[i + 1 :]:
+            cluster.faults.restore_link(a, b)
+    live = {n.node_id for n in cluster.live_nodes()}
+    if not live:
+        return
+    assert cluster.run_until_converged(30.0, expected=live), (
+        f"views={cluster.membership_views()} live={live}"
+    )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 2**16),
+    senders=st.lists(st.integers(0, 3), min_size=1, max_size=8),
+    crash_at=st.floats(0.0, 0.3),
+)
+def test_ordering_prefix_consistency_under_crash(seed, senders, crash_at):
+    """P5: delivery orders at any two nodes are prefix-consistent on their
+    common messages, even when a member crashes mid-multicast."""
+    node_ids = ["A", "B", "C", "D"]
+    cluster = RaincoreCluster(node_ids, seed=seed)
+    cluster.start_all()
+    for i, s in enumerate(senders):
+        cluster.node(node_ids[s]).multicast(f"m{i}")
+    cluster.run(crash_at)
+    cluster.faults.crash_node("D")
+    cluster.run(6.0)
+    orders = [
+        cluster.listener(n).delivery_keys for n in node_ids
+    ]
+    for i in range(len(orders)):
+        for j in range(i + 1, len(orders)):
+            a, b = orders[i], orders[j]
+            common = set(a) & set(b)
+            fa = [k for k in a if k in common]
+            fb = [k for k in b if k in common]
+            assert fa == fb, f"nodes {i},{j} disagree: {fa} vs {fb}"
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 2**16), loss=st.floats(0.0, 0.25))
+def test_token_uniqueness_sampled_under_loss(seed, loss):
+    """P1: sampled at every millisecond of a lossy quiescent run, at most
+    one node holds a live token."""
+    cluster = RaincoreCluster(["A", "B", "C"], seed=seed, loss=loss)
+    cluster.start_all()
+    for _ in range(500):
+        cluster.run(0.001)
+        assert len(cluster.token_holders()) <= 1
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**16))
+def test_no_duplicate_deliveries_after_token_loss(seed):
+    """Regeneration replays recent token state; uid suppression must keep
+    deliveries exactly-once."""
+    cluster = RaincoreCluster(["A", "B", "C", "D"], seed=seed)
+    cluster.start_all()
+    for i in range(6):
+        cluster.node("ABCD"[i % 4]).multicast(f"m{i}")
+    cluster.run(0.02)
+    cluster.faults.lose_token()
+    cluster.run(8.0)
+    for n in "ABCD":
+        keys = cluster.listener(n).delivery_keys
+        assert len(keys) == len(set(keys))

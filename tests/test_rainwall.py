@@ -1,0 +1,137 @@
+"""Integration tests for the Rainwall application (paper §3.2)."""
+
+import pytest
+
+from repro.apps.rainwall import RainwallCluster, RainwallConfig
+from repro.apps.firewall import Action, Rule
+from repro.core.states import NodeState
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+def make_rainwall(n=2, seed=3, **cfg_overrides):
+    cfg = RainwallConfig(**cfg_overrides)
+    return RainwallCluster([f"g{i}" for i in range(n)], seed=seed, config=cfg)
+
+
+def test_cluster_forms_and_carries_traffic():
+    rw = make_rainwall(2, arrival_rate=100.0)
+    rw.start()
+    rw.run(4.0)
+    assert rw.engine.stats.completed > 0
+    assert rw.throughput_mbps(since=1.0) > 0
+
+
+def test_throughput_saturates_at_cluster_capacity():
+    rw = make_rainwall(2, arrival_rate=400.0)
+    rw.start()
+    rw.run(6.0)
+    tp = rw.throughput_mbps(since=2.0)
+    assert tp == pytest.approx(190.0, rel=0.05)
+
+
+def test_scaling_is_near_linear():
+    """The Fig. 3 headline: 2 nodes ≈ 2×, 4 nodes ≈ 4× of one node."""
+    results = {}
+    for n in (1, 2, 4):
+        rw = make_rainwall(n, seed=42, arrival_rate=500.0)
+        rw.start()
+        rw.run(6.0)
+        results[n] = rw.throughput_mbps(since=2.0)
+    assert 1.8 <= results[2] / results[1] <= 2.05
+    assert 3.4 <= results[4] / results[1] <= 4.1
+
+
+def test_rainwall_cpu_below_one_percent():
+    """Paper §4.2: "Throughout the test, Rainwall CPU usage is below 1%"."""
+    rw = make_rainwall(4, arrival_rate=300.0)
+    rw.start()
+    duration = 6.0
+    rw.run(duration)
+    for node_id, pct in rw.rainwall_cpu_percent(duration).items():
+        assert pct < 1.0, f"{node_id} spent {pct:.2f}% CPU on coordination"
+
+
+def test_connections_balanced_across_gateways():
+    rw = make_rainwall(2, arrival_rate=300.0)
+    rw.start()
+    rw.run(5.0)
+    fwd = {nid: port.forwarded_bytes for nid, port in rw.engine.gateways.items()}
+    total = sum(fwd.values())
+    for nid, b in fwd.items():
+        assert b / total == pytest.approx(0.5, abs=0.15)
+
+
+def test_firewall_policy_enforced():
+    rules = [Rule(Action.DENY, vip="10.1.0.2"), Rule(Action.ALLOW, dst_port=80)]
+    rw = make_rainwall(2, arrival_rate=200.0, rules=rules)
+    rw.start()
+    rw.run(4.0)
+    assert rw.engine.stats.denied > 0
+    # Nothing routed for the denied VIP.
+    for flow in rw.engine.flows.values():
+        assert flow.vip != "10.1.0.2"
+
+
+def test_unplugged_cable_shuts_gateway_down():
+    rw = make_rainwall(2, arrival_rate=100.0)
+    rw.start()
+    rw.run(2.0)
+    rw.unplug_gateway("g1")
+    rw.run(3.0)
+    node = rw.raincore.node("g1")
+    assert node.state is NodeState.DOWN
+    assert "external-nic" in node.shutdown_reason
+
+
+def test_failover_under_two_seconds():
+    """The paper's claim: "The fail-over time of Rainwall is under two
+    seconds" — the client sees a hiccup, not a disconnect."""
+    rw = make_rainwall(2, seed=11, arrival_rate=300.0)
+    rw.start()
+    rw.run(3.0)
+    rw.unplug_gateway("g1")
+    rw.run(6.0)
+    # Every connection survived (completed or still progressing) ...
+    assert rw.raincore.node("g0").members == ("g0",)
+    # ... and no connection stalled longer than 2 seconds.
+    stalls = [f.total_stall for f in rw.engine.flows.values()]
+    assert max(stalls) < 2.0
+    # Aggregate traffic continues at single-gateway capacity.
+    assert rw.throughput_mbps(since=rw.loop.now - 2.0) == pytest.approx(
+        95.0, rel=0.1
+    )
+
+
+def test_failover_gap_metric_bounded():
+    rw = make_rainwall(2, seed=13, arrival_rate=300.0)
+    rw.start()
+    rw.run(3.0)
+    rw.crash_gateway("g1")
+    rw.run(6.0)
+    assert rw.failover_gap() < 2.0
+
+
+def test_recovered_gateway_rejoins_and_shares_load():
+    rw = make_rainwall(2, seed=5, arrival_rate=300.0)
+    rw.start()
+    rw.run(2.0)
+    rw.crash_gateway("g1")
+    rw.run(3.0)
+    rw.raincore.faults.recover_node("g1")
+    rw.engine.set_gateway_up("g1", True)
+    rw.run(5.0)
+    assert set(rw.raincore.node("g0").members) == {"g0", "g1"}
+    # g1 is forwarding again.
+    before = rw.engine.gateways["g1"].forwarded_bytes
+    rw.run(2.0)
+    assert rw.engine.gateways["g1"].forwarded_bytes > before
+
+
+def test_load_table_published_via_raincore():
+    rw = make_rainwall(2, arrival_rate=100.0)
+    rw.start()
+    rw.run(2.0)
+    leader = rw.shared["g0"]
+    assert leader.get("load:g0") is not None
+    assert leader.get("load:g1") is not None

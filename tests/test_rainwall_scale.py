@@ -1,0 +1,60 @@
+"""Larger-scale Rainwall scenarios beyond the paper's 4-gateway testbed."""
+
+import pytest
+
+from repro.apps.rainwall import RainwallCluster, RainwallConfig
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+def test_eight_gateway_cluster_scales():
+    cfg = RainwallConfig(
+        vips=[f"10.1.0.{i}" for i in range(1, 9)],
+        arrival_rate=1000.0,
+    )
+    rw = RainwallCluster([f"g{i}" for i in range(8)], seed=5, config=cfg)
+    rw.start()
+    rw.run(6.0)
+    tp = rw.throughput_mbps(since=rw.loop.now - 4.0)
+    assert tp == pytest.approx(8 * 95.0, rel=0.06)
+    assert all(pct < 1.0 for pct in rw.rainwall_cpu_percent(6.0).values())
+
+
+def test_double_failure_sequential():
+    """Two gateways die one after another; traffic keeps converging to the
+    survivors' capacity with no lost connections."""
+    cfg = RainwallConfig(
+        vips=[f"10.1.0.{i}" for i in range(1, 5)], arrival_rate=500.0
+    )
+    rw = RainwallCluster([f"g{i}" for i in range(4)], seed=9, config=cfg)
+    rw.start()
+    rw.run(3.0)
+    rw.crash_gateway("g3")
+    rw.run(3.0)
+    rw.crash_gateway("g1")
+    rw.run(6.0)
+    assert set(rw.raincore.node("g0").members) == {"g0", "g2"}
+    assert rw.throughput_mbps(since=rw.loop.now - 2.0) == pytest.approx(
+        190.0, rel=0.1
+    )
+    lost = sum(
+        1 for f in rw.engine.flows.values() if not f.done and f.gateway is None
+    )
+    assert lost == 0
+    assert max(f.total_stall for f in rw.engine.flows.values()) < 2.0
+
+
+def test_vip_count_exceeding_gateways():
+    """More VIPs than gateways: every VIP still owned and serving."""
+    cfg = RainwallConfig(
+        vips=[f"10.1.0.{i}" for i in range(1, 11)], arrival_rate=300.0
+    )
+    rw = RainwallCluster(["g0", "g1", "g2"], seed=2, config=cfg)
+    rw.start()
+    rw.run(3.0)
+    table = rw.vip_managers["g0"].assignment()
+    assert len(table) == 10
+    owners = set(table.values())
+    assert owners == {"g0", "g1", "g2"}
+    counts = [list(table.values()).count(g) for g in sorted(owners)]
+    assert max(counts) - min(counts) <= 1  # balanced ±1

@@ -1,0 +1,227 @@
+"""Tests for the 911 token-recovery and join protocol (paper §2.3)."""
+
+import pytest
+
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+# ----------------------------------------------------------------------
+# token loss and regeneration
+# ----------------------------------------------------------------------
+def lose_token(cluster):
+    for _ in range(100):
+        if cluster.faults.lose_token():
+            return True
+        cluster.run(0.001)
+    return False
+
+
+def test_token_regenerated_after_loss(abcd):
+    assert lose_token(abcd)
+    abcd.run(5.0)
+    assert abcd.converged()
+    regens = sum(abcd.node(n).recovery.regenerations for n in "ABCD")
+    assert regens == 1
+
+
+def test_exactly_one_node_wins_regeneration(abcd):
+    assert lose_token(abcd)
+    abcd.run(5.0)
+    winners = [n for n in "ABCD" if abcd.node(n).recovery.regenerations > 0]
+    assert len(winners) == 1
+    denied = sum(abcd.node(n).recovery.rounds_denied for n in "ABCD")
+    assert denied >= 1  # the losers were denied by seq comparison
+
+
+def test_winner_has_latest_copy(abcd):
+    abcd.run(0.5)
+    assert lose_token(abcd)
+    seqs = {n: abcd.node(n).local_copy_seq for n in "ABCD"}
+    abcd.run(5.0)
+    winners = [n for n in "ABCD" if abcd.node(n).recovery.regenerations > 0]
+    assert winners and seqs[winners[0]] == max(seqs.values())
+
+
+def test_recovery_time_bounded(abcd):
+    """Everlasting token (paper §2.5): regeneration within hungry timeout
+    plus one 911 round."""
+    abcd.run(0.2)
+    assert lose_token(abcd)
+    t0 = abcd.loop.now
+    deadline = (
+        abcd.config.hungry_timeout
+        + abcd.config.starving_backoff
+        + 0.5
+    )
+    recovered_at = None
+    while abcd.loop.now - t0 < deadline:
+        abcd.run(0.01)
+        if abcd.token_holders():
+            recovered_at = abcd.loop.now
+            break
+    assert recovered_at is not None, "token never regenerated"
+    assert recovered_at - t0 <= deadline
+
+
+def test_repeated_token_loss(abcd):
+    """The protocol survives several consecutive losses."""
+    for _ in range(3):
+        assert lose_token(abcd)
+        abcd.run(5.0)
+        assert abcd.converged()
+
+
+def test_911_denied_when_token_alive():
+    """A spurious STARVING episode (no real loss) must not regenerate: the
+    holder or fresher copies deny it (paper: "If the TOKEN has not been
+    lost, the 911 message will be denied").
+
+    A HUNGRY timeout shorter than one ring traversal guarantees spurious
+    911 rounds while the token is demonstrably alive.
+    """
+    from repro.core.config import RaincoreConfig
+
+    cfg = RaincoreConfig.tuned(ring_size=8, hop_interval=0.02)
+    # Starve after half a traversal: plenty of spurious rounds.
+    cfg = RaincoreConfig.tuned(
+        ring_size=8, hop_interval=0.02, hungry_timeout=0.06
+    )
+    c = make_cluster([f"n{i}" for i in range(8)], config=cfg)
+    c.start_all()
+    c.run(3.0)
+    rounds = sum(c.node(f"n{i}").recovery.rounds_started for i in range(8))
+    denied = sum(c.node(f"n{i}").recovery.rounds_denied for i in range(8))
+    regens = sum(c.node(f"n{i}").recovery.regenerations for i in range(8))
+    assert rounds > 0, "test setup failed to provoke spurious 911s"
+    assert denied > 0
+    assert regens == 0
+    assert c.converged()
+
+
+# ----------------------------------------------------------------------
+# joining
+# ----------------------------------------------------------------------
+def test_join_via_any_member():
+    c = make_cluster("ABC")
+    c.node("A").start_new_group()
+    c.run_until_converged(2.0, expected={"A"})
+    c.node("B").start_joining(["A"])
+    assert c.run_until_converged(3.0, expected={"A", "B"})
+    # Join via the *other* member: paper says "any node in the group".
+    c.node("C").start_joining(["B"])
+    assert c.run_until_converged(3.0, expected={"A", "B", "C"})
+
+
+def test_joiner_inserted_after_sponsor():
+    c = make_cluster("ABC")
+    c.node("A").start_new_group()
+    c.run_until_converged(2.0, expected={"A"})
+    c.node("B").start_joining(["A"])
+    c.run_until_converged(3.0, expected={"A", "B"})
+    c.node("C").start_joining(["A"])
+    assert c.run_until_converged(3.0, expected={"A", "B", "C"})
+    ring = c.node("A").members
+    # C was queued at A and inserted right after A.
+    assert ring.index("C") == (ring.index("A") + 1) % len(ring)
+
+
+def test_join_retries_until_group_exists():
+    c = make_cluster("AB")
+    # B starts joining before A has even formed the group.
+    c.node("B").start_joining(["A"])
+    c.run(0.3)
+    c.node("A").start_new_group()
+    assert c.run_until_converged(6.0, expected={"A", "B"})
+
+
+def test_concurrent_joins():
+    c = make_cluster([f"n{i}" for i in range(6)])
+    first = "n0"
+    c.node(first).start_new_group()
+    c.run_until_converged(2.0, expected={first})
+    for nid in [f"n{i}" for i in range(1, 6)]:
+        c.node(nid).start_joining([first])
+    assert c.run_until_converged(8.0, expected={f"n{i}" for i in range(6)})
+
+
+# ----------------------------------------------------------------------
+# failure handling (paper §2.2 aggressive detection)
+# ----------------------------------------------------------------------
+def test_crash_detected_and_removed(abcd):
+    abcd.faults.crash_node("C")
+    assert abcd.run_until_converged(3.0, expected={"A", "B", "D"})
+
+
+def test_crashed_node_rejoins(abcd):
+    abcd.faults.crash_node("C")
+    abcd.run_until_converged(3.0, expected={"A", "B", "D"})
+    abcd.faults.recover_node("C")
+    assert abcd.run_until_converged(5.0, expected=set("ABCD"))
+
+
+def test_multiple_simultaneous_crashes(abcd):
+    abcd.faults.crash_node("B")
+    abcd.faults.crash_node("D")
+    assert abcd.run_until_converged(5.0, expected={"A", "C"})
+
+
+def test_all_but_one_crash(abcd):
+    for nid in "BCD":
+        abcd.faults.crash_node(nid)
+    assert abcd.run_until_converged(5.0, expected={"A"})
+    assert abcd.node("A").members == ("A",)
+
+
+def test_crash_of_token_holder(abcd):
+    holder = None
+    for _ in range(2000):
+        abcd.run(0.001)
+        holders = abcd.token_holders()
+        if holders:
+            holder = holders[0]
+            break
+    assert holder
+    abcd.faults.crash_node(holder)
+    survivors = set("ABCD") - {holder}
+    assert abcd.run_until_converged(5.0, expected=survivors)
+
+
+# ----------------------------------------------------------------------
+# false alarms and link failures (paper §2.3)
+# ----------------------------------------------------------------------
+def test_false_alarm_self_heals(abcd):
+    abcd.faults.false_alarm("A", "B")
+    abcd.run(6.0)
+    assert abcd.run_until_converged(6.0, expected=set("ABCD"))
+
+
+def test_link_failure_bypassed_in_ring(abcd):
+    """The paper's ABCD -> ACD -> ACBD walk-through, asserted end to end."""
+    assert abcd.node("A").members == ("A", "B", "C", "D")
+    abcd.faults.cut_link("A", "B")
+    abcd.run(6.0)
+    assert abcd.run_until_converged(6.0, expected=set("ABCD"))
+    ring = abcd.node("A").members
+    n = len(ring)
+    # The ring must not require the dead A->B hop.
+    assert (ring.index("B") - ring.index("A")) % n != 1
+
+
+def test_link_failure_both_nodes_stay(abcd):
+    abcd.faults.cut_link("B", "C")
+    abcd.run(6.0)
+    assert abcd.run_until_converged(6.0, expected=set("ABCD"))
+
+
+def test_redundant_links_mask_single_link_failure():
+    """With two NICs per node a single segment's link cut is invisible."""
+    c = make_cluster("ABCD", segments=2)
+    c.start_all()
+    c.topology.block_pair("A@net0", "B@net0")  # only segment 0 path cut
+    before = {n: c.node(n).recovery.rounds_started for n in "ABCD"}
+    c.run(3.0)
+    assert c.converged()
+    after = {n: c.node(n).recovery.rounds_started for n in "ABCD"}
+    assert before == after  # nobody even starved

@@ -1,0 +1,101 @@
+"""Tests for the Data Service replica discipline (repro.data.replica)."""
+
+import pytest
+
+from repro.data import SharedDict
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+def test_singleton_self_sync():
+    """A founding singleton replica is synced from the first view."""
+    c = make_cluster("A")
+    d = SharedDict(c.node("A"))
+    c.start_all()
+    assert d.synced
+    d.set("k", 1)
+    c.run(0.5)
+    assert d.get("k") == 1
+
+
+def test_partitioned_away_unsynced_member_self_syncs_as_singleton():
+    """A member stranded unsynced that becomes a singleton group declares
+    its own (empty) state authoritative for that group."""
+    c = make_cluster("ABC")
+    dicts = {nid: SharedDict(c.node(nid)) for nid in "ABC"}
+    c.start_all()
+    # Force C unsynced artificially to model the formation race.
+    dicts["C"]._synced = False
+    c.faults.partition(["A", "B"], ["C"])
+    c.run(3.0)
+    assert dicts["C"].synced  # singleton self-sync
+    c.faults.heal_partition()
+    assert c.run_until_converged(15.0, expected=set("ABC"))
+    c.run(3.0)
+    snaps = [dicts[n].snapshot() for n in "ABC"]
+    assert all(s == snaps[0] for s in snaps)
+
+
+def test_sync_request_heals_stranded_member():
+    """An unsynced member in a stable (no-growth) group gets synced via the
+    SyncRequest path — growth snapshots alone would never fire."""
+    c = make_cluster("ABCD")
+    dicts = {nid: SharedDict(c.node(nid)) for nid in "ABCD"}
+    c.start_all()
+    dicts["A"].set("k", "v")
+    c.run(1.0)
+    # Artificially strand C: wipe its state and mark unsynced.
+    dicts["C"]._synced = False
+    dicts["C"]._state = {}
+    dicts["C"]._arm_sync_timer()
+    c.run(5.0)  # no membership changes at all
+    assert dicts["C"].synced
+    assert dicts["C"].get("k") == "v"
+
+
+def test_all_unsynced_group_self_declares_min():
+    """If no member has history, the minimum-id member's local state
+    becomes authoritative after bounded requests."""
+    c = make_cluster("AB")
+    dicts = {nid: SharedDict(c.node(nid)) for nid in "AB"}
+    c.start_all()
+    # Strand both; give them different local states.
+    for nid, state in (("A", {"x": "from-A"}), ("B", {"x": "from-B"})):
+        dicts[nid]._synced = False
+        dicts[nid]._state = dict(state)
+        dicts[nid]._arm_sync_timer()
+    c.run(15.0)
+    assert dicts["A"].synced and dicts["B"].synced
+    # Deterministic winner: the minimum id (A).
+    assert dicts["A"].snapshot() == dicts["B"].snapshot() == {"x": "from-A"}
+
+
+def test_sync_requests_are_service_scoped():
+    """A NAT table's sync request must not be answered with dict snapshots."""
+    from repro.apps.nat import NatTable
+
+    c = make_cluster("AB")
+    d = {nid: SharedDict(c.node(nid)) for nid in "AB"}
+    n = {nid: NatTable(c.node(nid)) for nid in "AB"}
+    c.start_all()
+    d["A"].set("k", 1)
+    n["A"].allocate(1, "c1")
+    c.run(1.0)
+    # Strand B's NAT replica only.
+    n["B"]._synced = False
+    n["B"]._by_flow = {}
+    n["B"]._by_port = {}
+    n["B"]._arm_sync_timer()
+    c.run(5.0)
+    assert n["B"].synced
+    assert n["B"].snapshot() == n["A"].snapshot()
+    assert d["B"].get("k") == 1  # dict replica untouched throughout
+
+
+def test_replica_requires_service_name():
+    from repro.data.replica import ReplicaBase
+
+    c = make_cluster("AB")
+    with pytest.raises(TypeError):
+        ReplicaBase(c.node("A"))

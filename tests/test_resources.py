@@ -1,0 +1,101 @@
+"""Tests for critical-resource monitoring (paper §2.4, §3.2)."""
+
+import pytest
+
+from repro.core.resources import CriticalResource
+from repro.core.states import NodeState
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+def test_healthy_resource_keeps_node_up(abcd):
+    abcd.node("A").monitor.add(
+        CriticalResource("always-ok", lambda: True, poll_interval=0.05)
+    )
+    abcd.run(2.0)
+    assert abcd.node("A").state is not NodeState.DOWN
+
+
+def test_failed_resource_shuts_node_down(abcd):
+    healthy = {"value": True}
+    abcd.node("B").monitor.add(
+        CriticalResource("uplink", lambda: healthy["value"], poll_interval=0.05)
+    )
+    abcd.run(0.5)
+    healthy["value"] = False
+    abcd.run(1.0)
+    assert abcd.node("B").state is NodeState.DOWN
+    assert "uplink" in abcd.node("B").shutdown_reason
+    assert abcd.listener("B").shutdowns
+
+
+def test_group_reforms_after_resource_shutdown(abcd):
+    abcd.node("B").monitor.add(
+        CriticalResource("dead", lambda: False, poll_interval=0.05)
+    )
+    assert abcd.run_until_converged(5.0, expected={"A", "C", "D"})
+
+
+def test_required_consecutive_failures():
+    c = make_cluster("AB")
+    c.start_all()
+    flaky = {"n": 0}
+
+    def check():
+        flaky["n"] += 1
+        return flaky["n"] % 2 == 0  # alternates fail/ok: never 3 in a row
+
+    c.node("A").monitor.add(
+        CriticalResource("flaky", check, poll_interval=0.05, required=3)
+    )
+    c.run(3.0)
+    assert c.node("A").state is not NodeState.DOWN
+
+
+def test_sustained_failure_crosses_threshold():
+    c = make_cluster("AB")
+    c.start_all()
+    c.node("A").monitor.add(
+        CriticalResource("gone", lambda: False, poll_interval=0.05, required=3)
+    )
+    c.run(1.0)
+    assert c.node("A").state is NodeState.DOWN
+
+
+def test_split_brain_prevention_via_common_resource(abcd):
+    """Paper §2.4: a common critical resource (e.g. the Internet uplink)
+    lets only one sub-group survive a partition."""
+    reachable = {"A": True, "B": True, "C": True, "D": True}
+    for nid in "ABCD":
+        abcd.node(nid).monitor.add(
+            CriticalResource(
+                "uplink", lambda nid=nid: reachable[nid], poll_interval=0.05
+            )
+        )
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    # The C/D side loses the common resource.
+    reachable["C"] = reachable["D"] = False
+    abcd.run(3.0)
+    assert abcd.node("C").state is NodeState.DOWN
+    assert abcd.node("D").state is NodeState.DOWN
+    views = abcd.membership_views()
+    assert set(views) == {"A", "B"}
+    assert set(views["A"]) == {"A", "B"}
+
+
+def test_resource_management_api(abcd):
+    mon = abcd.node("A").monitor
+    mon.add(CriticalResource("r1", lambda: True))
+    assert "r1" in mon.resources()
+    with pytest.raises(ValueError):
+        mon.add(CriticalResource("r1", lambda: True))
+    mon.remove("r1")
+    assert "r1" not in mon.resources()
+
+
+def test_resource_validation():
+    with pytest.raises(ValueError):
+        CriticalResource("x", lambda: True, poll_interval=0)
+    with pytest.raises(ValueError):
+        CriticalResource("x", lambda: True, required=0)

@@ -1,0 +1,150 @@
+"""Tests for the replicated read/write lock manager."""
+
+import pytest
+
+from repro.data.rwlock import ReadWriteLockManager
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture
+def rw_cluster():
+    c = make_cluster("ABCD")
+    locks = {nid: ReadWriteLockManager(c.node(nid)) for nid in "ABCD"}
+    c.start_all()
+    return c, locks
+
+
+def test_multiple_concurrent_readers(rw_cluster):
+    c, locks = rw_cluster
+    granted = []
+    for nid in "ABC":
+        locks[nid].acquire_read("table", on_granted=lambda nid=nid: granted.append(nid))
+    c.run(1.5)
+    assert sorted(granted) == ["A", "B", "C"]
+    assert sorted(locks["D"].readers("table")) == ["A", "B", "C"]
+
+
+def test_writer_is_exclusive(rw_cluster):
+    c, locks = rw_cluster
+    granted = []
+    locks["A"].acquire_write("table", on_granted=lambda: granted.append("A:w"))
+    locks["B"].acquire_read("table", on_granted=lambda: granted.append("B:r"))
+    c.run(1.5)
+    assert granted == ["A:w"]
+    assert locks["C"].writer("table") == "A"
+    locks["A"].release("table", "w")
+    c.run(1.5)
+    assert granted == ["A:w", "B:r"]
+
+
+def test_readers_block_writer_until_all_release(rw_cluster):
+    c, locks = rw_cluster
+    granted = []
+    locks["A"].acquire_read("t")
+    locks["B"].acquire_read("t")
+    c.run(1.0)
+    locks["C"].acquire_write("t", on_granted=lambda: granted.append("C:w"))
+    c.run(1.0)
+    assert granted == []
+    locks["A"].release("t", "r")
+    c.run(1.0)
+    assert granted == []  # B still reads
+    locks["B"].release("t", "r")
+    c.run(1.0)
+    assert granted == ["C:w"]
+
+
+def test_writer_fairness_blocks_later_readers(rw_cluster):
+    """A waiting writer must not be starved by a stream of readers."""
+    c, locks = rw_cluster
+    order = []
+    locks["A"].acquire_read("t", on_granted=lambda: order.append("A:r"))
+    c.run(1.0)
+    locks["B"].acquire_write("t", on_granted=lambda: order.append("B:w"))
+    c.run(0.5)
+    locks["C"].acquire_read("t", on_granted=lambda: order.append("C:r"))
+    c.run(1.0)
+    # C's read waits behind B's write even though A's read is active.
+    assert order == ["A:r"]
+    locks["A"].release("t", "r")
+    c.run(1.0)
+    assert order == ["A:r", "B:w"]
+    locks["B"].release("t", "w")
+    c.run(1.0)
+    assert order == ["A:r", "B:w", "C:r"]
+
+
+def test_replicas_agree(rw_cluster):
+    c, locks = rw_cluster
+    locks["A"].acquire_read("t")
+    locks["B"].acquire_write("t")
+    locks["C"].acquire_read("t")
+    c.run(1.5)
+    for nid in "ABCD":
+        assert locks[nid].readers("t") == locks["A"].readers("t")
+        assert locks[nid].writer("t") == locks["A"].writer("t")
+        assert locks[nid].waiting("t") == locks["A"].waiting("t")
+
+
+def test_dead_writer_purged(rw_cluster):
+    c, locks = rw_cluster
+    granted = []
+    locks["B"].acquire_write("t")
+    c.run(1.0)
+    locks["C"].acquire_read("t", on_granted=lambda: granted.append("C:r"))
+    c.run(1.0)
+    assert granted == []
+    c.faults.crash_node("B")
+    c.run(4.0)
+    assert granted == ["C:r"]
+    for nid in "ACD":
+        assert locks[nid].writer("t") is None
+
+
+def test_dead_reader_unblocks_writer(rw_cluster):
+    c, locks = rw_cluster
+    granted = []
+    locks["D"].acquire_read("t")
+    c.run(1.0)
+    locks["A"].acquire_write("t", on_granted=lambda: granted.append("A:w"))
+    c.run(1.0)
+    assert granted == []
+    c.faults.crash_node("D")
+    c.run(4.0)
+    assert granted == ["A:w"]
+
+
+def test_same_node_read_and_write_are_distinct(rw_cluster):
+    c, locks = rw_cluster
+    locks["A"].acquire_read("t")
+    locks["A"].acquire_write("t")  # queues behind its own read
+    c.run(1.5)
+    assert locks["B"].readers("t") == ["A"]
+    assert locks["B"].writer("t") is None
+    locks["A"].release("t", "r")
+    c.run(1.0)
+    assert locks["B"].writer("t") == "A"
+
+
+def test_double_acquire_rejected(rw_cluster):
+    c, locks = rw_cluster
+    locks["A"].acquire_read("t")
+    with pytest.raises(RuntimeError):
+        locks["A"].acquire_read("t")
+    with pytest.raises(RuntimeError):
+        locks["A"].release("t", "w")
+
+
+def test_withdraw_queued_write(rw_cluster):
+    c, locks = rw_cluster
+    granted = []
+    locks["A"].acquire_read("t")
+    c.run(1.0)
+    locks["B"].acquire_write("t")
+    locks["C"].acquire_read("t", on_granted=lambda: granted.append("C:r"))
+    c.run(1.0)
+    locks["B"].release("t", "w")  # withdraw while queued
+    c.run(1.0)
+    assert granted == ["C:r"]  # C no longer blocked behind B's write

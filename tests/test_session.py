@@ -1,0 +1,183 @@
+"""Integration tests for the session-service node lifecycle and token ring.
+
+These exercise the paper's §2.2 behaviours end to end on the simulated
+network: group formation, token circulation at the configured rate, state
+machine cycling, view-change notification, and graceful departure.
+"""
+
+import pytest
+
+from repro.core.states import NodeState
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+# ----------------------------------------------------------------------
+# formation
+# ----------------------------------------------------------------------
+def test_singleton_group_forms():
+    c = make_cluster("A")
+    c.start_all()
+    assert c.node("A").members == ("A",)
+    assert c.node("A").group_id == "A"
+
+
+def test_two_node_group_forms():
+    c = make_cluster("AB")
+    c.start_all()
+    assert set(c.node("A").members) == {"A", "B"}
+    assert c.node("A").members == c.node("B").members
+
+
+def test_eight_node_group_forms():
+    c = make_cluster([f"n{i:02d}" for i in range(8)])
+    c.start_all()
+    views = {cn.node.members for cn in c.nodes.values()}
+    assert len(views) == 1
+    assert len(next(iter(views))) == 8
+
+
+def test_all_nodes_get_view_notifications():
+    c = make_cluster("ABC")
+    c.start_all()
+    for nid in "ABC":
+        assert c.listener(nid).current_members == c.node(nid).members
+        assert len(c.listener(nid).views) >= 1
+
+
+def test_group_id_is_lowest_node_id(abcd):
+    for nid in "ABCD":
+        assert abcd.node(nid).group_id == "A"
+
+
+def test_double_start_rejected():
+    c = make_cluster("AB")
+    c.start_all()
+    with pytest.raises(RuntimeError):
+        c.node("A").start_new_group()
+    with pytest.raises(RuntimeError):
+        c.node("B").start_joining(["A"])
+
+
+# ----------------------------------------------------------------------
+# token circulation
+# ----------------------------------------------------------------------
+def test_exactly_one_token_normally(abcd):
+    """Paper §2.5: token uniqueness — sampled over a quiescent run."""
+    for _ in range(200):
+        abcd.run(0.003)
+        assert len(abcd.token_holders()) <= 1
+
+
+def test_token_visits_every_node(abcd):
+    """Fairness: every node holds the token (paper §2.7)."""
+    seen = set()
+    for _ in range(400):
+        abcd.run(0.003)
+        seen.update(abcd.token_holders())
+        if len(seen) == 4:
+            break
+    assert seen == set("ABCD")
+
+
+def test_token_rate_matches_hop_interval(abcd):
+    """With N nodes at hop h the token does ~1/(N*h) roundtrips/sec."""
+    node_a = abcd.node("A")
+    visits = 0
+    orig = node_a.multicast_service.on_token
+
+    def counting(token):
+        nonlocal visits
+        visits += 1
+        return orig(token)
+
+    node_a.multicast_service.on_token = counting
+    duration = 2.0
+    abcd.run(duration)
+    expected = duration / (4 * abcd.config.hop_interval)
+    assert visits == pytest.approx(expected, rel=0.25)
+
+
+def test_nodes_cycle_hungry_eating(abcd):
+    abcd.run(1.0)
+    transitions = abcd.listener("B").transitions
+    pairs = set(transitions)
+    assert (NodeState.HUNGRY, NodeState.EATING) in pairs
+    assert (NodeState.EATING, NodeState.HUNGRY) in pairs
+
+
+def test_seq_strictly_increases(abcd):
+    node = abcd.node("A")
+    seqs = []
+    for _ in range(100):
+        abcd.run(0.005)
+        seqs.append(node.local_copy_seq)
+    assert all(b >= a for a, b in zip(seqs, seqs[1:]))
+    assert seqs[-1] > seqs[0]
+
+
+# ----------------------------------------------------------------------
+# graceful leave
+# ----------------------------------------------------------------------
+def test_voluntary_leave_shrinks_group(abcd):
+    abcd.node("C").leave()
+    assert abcd.run_until_converged(3.0, expected={"A", "B", "D"})
+    assert abcd.node("C").state is NodeState.DOWN
+    for nid in "ABD":
+        assert "C" not in abcd.node(nid).members
+
+
+def test_leave_of_last_member_dissolves_group():
+    c = make_cluster("A")
+    c.start_all()
+    c.node("A").leave()
+    c.run(1.0)
+    assert c.node("A").state is NodeState.DOWN
+
+
+def test_leaver_can_rejoin(abcd):
+    abcd.node("C").leave()
+    abcd.run_until_converged(3.0, expected={"A", "B", "D"})
+    abcd.node("C").start_joining(["A"])
+    assert abcd.run_until_converged(5.0, expected=set("ABCD"))
+
+
+# ----------------------------------------------------------------------
+# API guards
+# ----------------------------------------------------------------------
+def test_multicast_requires_live_node():
+    c = make_cluster("AB")
+    with pytest.raises(RuntimeError):
+        c.node("A").multicast("x")
+
+
+def test_run_exclusive_requires_live_node():
+    c = make_cluster("AB")
+    with pytest.raises(RuntimeError):
+        c.node("A").run_exclusive(lambda: None)
+
+
+def test_shutdown_is_idempotent(abcd):
+    node = abcd.node("D")
+    node.shutdown("test")
+    node.shutdown("test-again")
+    assert node.shutdown_reason == "test"
+    assert abcd.listener("D").shutdowns == ["test"]
+
+
+def test_determinism_identical_seeds_identical_histories():
+    def history(seed):
+        c = make_cluster("ABCD", seed=seed)
+        c.start_all()
+        for i, nid in enumerate("ABCD"):
+            c.node(nid).multicast(f"m{i}")
+        c.faults.crash_node("B")
+        c.run(2.0)
+        return (
+            c.membership_views(),
+            c.all_delivery_orders(),
+            c.stats.per_node("task_switches"),
+        )
+
+    assert history(777) == history(777)

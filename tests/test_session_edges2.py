@@ -1,0 +1,127 @@
+"""Additional edge-case coverage: TBM timeouts, eligible updates, open-group
+client lifecycle, and leave-while-joining."""
+
+import pytest
+
+from repro.core.states import NodeState
+from repro.core.token import Token
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+def test_held_tbm_dropped_after_timeout(abcd):
+    """A TBM token whose own-token partner never arrives is discarded after
+    the hungry timeout (safety valve; the other group 911-regenerates)."""
+    node = abcd.node("D")
+    # Hand D a fabricated TBM token while its own token keeps circulating...
+    # actually: simulate the broken case by injecting a TBM while we prevent
+    # merging (the merge fires on next own-token arrival, so pick a node and
+    # stop its ring participation first).
+    abcd.faults.crash_node("A")
+    abcd.faults.crash_node("B")
+    abcd.faults.crash_node("C")
+    abcd.run(3.0)  # D ends up alone; its singleton token self-circulates
+    # Crash D's ring too by removing its token: D will starve...
+    node.crash()
+    abcd.topology.set_node_up("D", True)
+    node.start_joining(["A"])  # dead contact: stays JOINING, no token ever
+    tbm = Token(seq=999, membership=("D", "Z"), tbm=True)
+    node.merge.handle_tbm(tbm)
+    assert node.merge.holding_tbm
+    abcd.run(abcd.config.hungry_timeout + 0.5)
+    assert not node.merge.holding_tbm  # dropped by the timeout
+
+
+def test_set_eligible_online(abcd):
+    """Eligible Membership 'can be changed and updated online' (§2.4)."""
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    for nid in "ABCD":
+        abcd.node(nid).set_eligible({"A", "B"})  # C/D not eligible anywhere
+    abcd.run(3.0)
+    abcd.faults.heal_partition()
+    abcd.run(4.0)
+    assert set(abcd.node("A").members) == {"A", "B"}  # no merge
+    for nid in "ABCD":
+        abcd.node(nid).set_eligible({"A", "B", "C", "D"})  # online update
+    assert abcd.run_until_converged(10.0, expected=set("ABCD"))
+
+
+def test_open_group_client_stop_cancels_pending(abcd):
+    client = abcd.add_external_client("ext", contacts=["B"])
+    abcd.faults.crash_node("B")
+    abcd.run(1.0)
+    results = []
+    client.send_to_group("never", on_result=results.append)
+    client.stop()
+    abcd.run(5.0)
+    assert results == []  # no callback after stop
+
+
+def test_leave_while_joining():
+    c = make_cluster("AB")
+    c.node("A").start_new_group()
+    c.run(0.5)
+    c.node("B").start_joining(["A"])
+    c.node("B").leave()  # change of heart before ever holding the token
+    c.run(3.0)
+    assert c.node("B").state is NodeState.DOWN
+    # A's ring is a singleton again (B joined and immediately departed, or
+    # never completed the join — either way A converges alone).
+    assert c.run_until_converged(5.0, expected={"A"})
+
+
+def test_flapping_node_converges(abcd):
+    """Crash/recover the same node repeatedly: the group always re-admits."""
+    for round_no in range(3):
+        abcd.faults.crash_node("C")
+        assert abcd.run_until_converged(5.0, expected={"A", "B", "D"}), round_no
+        abcd.faults.recover_node("C")
+        assert abcd.run_until_converged(8.0, expected=set("ABCD")), round_no
+
+
+def test_cascading_failures(abcd):
+    """Crash members one by one faster than full re-convergence."""
+    abcd.faults.crash_node("B")
+    abcd.run(0.1)
+    abcd.faults.crash_node("C")
+    abcd.run(0.1)
+    abcd.faults.crash_node("D")
+    assert abcd.run_until_converged(8.0, expected={"A"})
+    assert abcd.node("A").members == ("A",)
+    # And the cluster can rebuild from the sole survivor.
+    for nid in "BCD":
+        abcd.faults.recover_node(nid, contacts=["A"])
+    assert abcd.run_until_converged(12.0, expected=set("ABCD"))
+
+
+def test_leave_with_drain_flushes_outbox(abcd):
+    """leave(drain=True) attaches every queued multicast before departing;
+    the messages complete delivery after the sender is gone."""
+    node = abcd.node("B")
+    for i in range(10):
+        node.multicast(f"farewell-{i}")
+    node.leave(drain=True)
+    abcd.run_until_converged(5.0, expected={"A", "C", "D"})
+    abcd.run(1.0)
+    for nid in "ACD":
+        payloads = [d.payload for d in abcd.listener(nid).deliveries]
+        assert payloads == [f"farewell-{i}" for i in range(10)], (nid, payloads)
+    assert abcd.node("B").state is NodeState.DOWN
+
+
+def test_leave_without_drain_drops_outbox(abcd):
+    node = abcd.node("B")
+    # Wait until B is NOT eating so the queue cannot flush synchronously.
+    for _ in range(1000):
+        abcd.run(0.001)
+        if not node.is_eating:
+            break
+    node.multicast("dropped-on-floor")
+    node.leave()
+    abcd.run_until_converged(5.0, expected={"A", "C", "D"})
+    abcd.run(1.0)
+    for nid in "ACD":
+        assert "dropped-on-floor" not in [
+            d.payload for d in abcd.listener(nid).deliveries
+        ]

@@ -1,0 +1,36 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.net.simclock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(5.5).now == 5.5
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    clock.advance_to(3.25)
+    assert clock.now == 3.25
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = SimClock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_time_cannot_flow_backwards():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(9.999)

@@ -1,0 +1,118 @@
+"""Soak tests: long mixed-churn runs on larger clusters.
+
+These stress the whole stack at once — continuous multicast load, node
+crashes and recoveries, link cuts, token loss, partitions — and then check
+the global invariants.  Marked slow; they are the closest thing to the
+paper's "operational at more than 100 major customer sites" confidence
+claim that a simulator can offer.
+"""
+
+import pytest
+
+from repro.cluster.harness import RaincoreCluster
+from repro.core.config import RaincoreConfig
+from repro.data import SharedDict
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+def test_sixteen_node_mixed_churn_soak():
+    n = 16
+    ids = [f"n{i:02d}" for i in range(n)]
+    cluster = RaincoreCluster(
+        ids, seed=99, config=RaincoreConfig.tuned(ring_size=n)
+    )
+    cluster.start_all(form_time=30.0)
+    from repro.cluster.invariants import InvariantMonitor
+
+    monitor = InvariantMonitor(cluster, interval=0.005)
+    monitor.start()
+    rng = cluster.loop.rng
+
+    sent = 0
+    # 40 virtual seconds of mixed churn with background multicast.
+    for round_no in range(40):
+        # background load: a few multicasts per virtual second
+        for _ in range(3):
+            origin = ids[rng.randrange(n)]
+            node = cluster.node(origin)
+            if node.state.value != "down":
+                node.multicast(f"bg-{round_no}-{sent}")
+                sent += 1
+        # occasional faults
+        roll = rng.random()
+        live = [x.node_id for x in cluster.live_nodes()]
+        if roll < 0.15 and len(live) > n // 2:
+            cluster.faults.crash_node(live[rng.randrange(len(live))])
+        elif roll < 0.30:
+            down = [x for x in ids if x not in live]
+            if down:
+                cluster.faults.recover_node(down[rng.randrange(len(down))])
+        elif roll < 0.40:
+            cluster.faults.lose_token()
+        elif roll < 0.50:
+            a, b = rng.sample(ids, 2)
+            cluster.faults.cut_link(a, b)
+            cluster.loop.call_later(
+                2.0, cluster.topology.unblock_node_pair, a, b
+            )
+        cluster.run(1.0)
+
+    # Quiescence: recover everyone, heal everything, converge.
+    for nid in ids:
+        if cluster.node(nid).state.value == "down":
+            cluster.faults.recover_node(nid)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1:]:
+            cluster.faults.restore_link(a, b)
+    assert cluster.run_until_converged(60.0, expected=set(ids)), (
+        cluster.membership_views()
+    )
+
+    # Continuous invariants: monotonic seqs, legal states; fail-stop churn
+    # must not create any double-token window at all.
+    monitor.stop()
+    monitor.assert_clean()
+
+    # Invariants over the whole run:
+    for nid in ids:
+        keys = cluster.listener(nid).delivery_keys
+        assert len(keys) == len(set(keys)), f"{nid} saw duplicate deliveries"
+    # Pairwise prefix-consistent orders on common messages.
+    orders = [cluster.listener(nid).delivery_keys for nid in ids]
+    for i in range(0, len(orders), 5):
+        for j in range(i + 1, len(orders), 5):
+            common = set(orders[i]) & set(orders[j])
+            fi = [k for k in orders[i] if k in common]
+            fj = [k for k in orders[j] if k in common]
+            assert fi == fj
+
+
+def test_partition_storm_with_shared_state():
+    """Repeated random partitions/heals; the replicated dict converges to
+    identical state after the final heal."""
+    ids = list("ABCDEF")
+    cluster = RaincoreCluster(ids, seed=31)
+    dicts = {nid: SharedDict(cluster.node(nid)) for nid in ids}
+    cluster.start_all()
+    rng = cluster.loop.rng
+
+    for storm in range(4):
+        cut = rng.randrange(1, len(ids) - 1)
+        shuffled = ids[:]
+        rng.shuffle(shuffled)
+        cluster.faults.partition(shuffled[:cut], shuffled[cut:])
+        cluster.run(2.5)
+        for nid in ids:
+            dicts[nid].set(f"storm{storm}:{nid}", storm)
+        cluster.run(1.5)
+        cluster.faults.heal_partition()
+        assert cluster.run_until_converged(25.0, expected=set(ids)), (
+            f"storm {storm}: {cluster.membership_views()}"
+        )
+        cluster.run(2.0)
+
+    snaps = [dicts[nid].snapshot() for nid in ids]
+    assert all(s == snaps[0] for s in snaps)
+    # Keys written by the surviving-side coordinator of each storm exist.
+    assert len(snaps[0]) >= 4

@@ -1,0 +1,126 @@
+"""Unit tests for the TOKEN data structure."""
+
+import pytest
+
+from repro.core.token import (
+    MSG_HEADER,
+    Ordering,
+    PiggybackedMessage,
+    TOKEN_HEADER,
+    Token,
+)
+
+
+def make_token(members="ABCD", seq=0):
+    return Token(seq=seq, membership=tuple(members))
+
+
+def test_group_id_is_lowest_member():
+    assert make_token("CBDA").group_id == "A"
+    assert make_token("DB").group_id == "B"
+
+
+def test_group_id_requires_members():
+    with pytest.raises(ValueError):
+        Token().group_id
+
+
+def test_next_after_wraps():
+    t = make_token("ABC")
+    assert t.next_after("A") == "B"
+    assert t.next_after("C") == "A"
+
+
+def test_remove_member_preserves_ring_order():
+    t = make_token("ABCD")
+    t.remove_member("B")
+    assert t.membership == ("A", "C", "D")
+
+
+def test_remove_member_bumps_view_id():
+    t = make_token("AB")
+    v = t.view_id
+    t.remove_member("B")
+    assert t.view_id == v + 1
+
+
+def test_remove_absent_member_is_noop():
+    t = make_token("AB")
+    v = t.view_id
+    t.remove_member("Z")
+    assert t.membership == ("A", "B")
+    assert t.view_id == v
+
+
+def test_remove_member_prunes_pending_sets():
+    t = make_token("ABC")
+    msg = PiggybackedMessage("A", 1, "x", 1, pending={"B", "C"})
+    t.messages.append(msg)
+    t.remove_member("B")
+    assert msg.pending == {"C"}
+
+
+def test_insert_after_places_joiner():
+    """The paper's ACBD example: C adds B right after itself."""
+    t = make_token("ACD")
+    t.insert_after("C", "B")
+    assert t.membership == ("A", "C", "B", "D")
+
+
+def test_insert_after_existing_member_is_noop():
+    t = make_token("AB")
+    t.insert_after("A", "B")
+    assert t.membership == ("A", "B")
+
+
+def test_insert_after_unknown_anchor():
+    t = make_token("AB")
+    with pytest.raises(ValueError):
+        t.insert_after("Z", "C")
+
+
+def test_insert_at_ring_end_wraps_correctly():
+    t = make_token("AB")
+    t.insert_after("B", "C")
+    assert t.membership == ("A", "B", "C")
+    assert t.next_after("C") == "A"
+
+
+def test_wire_size_model():
+    t = make_token("AB")
+    base = TOKEN_HEADER + 2 * 8
+    assert t.wire_size() == base
+    t.messages.append(PiggybackedMessage("A", 1, b"xxxx", 4))
+    assert t.wire_size() == base + MSG_HEADER + 4
+
+
+def test_copy_is_independent():
+    t = make_token("ABC")
+    msg = PiggybackedMessage("A", 1, "x", 1, pending={"B", "C"})
+    t.messages.append(msg)
+    c = t.copy()
+    c.remove_member("B")
+    c.messages[0].pending.discard("C")
+    assert t.membership == ("A", "B", "C")
+    assert msg.pending == {"B", "C"}
+
+
+def test_copy_preserves_message_identity_fields():
+    t = make_token("AB")
+    msg = PiggybackedMessage(
+        "A", 7, "payload", 9, ordering=Ordering.SAFE,
+        audience=frozenset("AB"), pending={"B"}, confirmed=True,
+    )
+    t.messages.append(msg)
+    c = t.copy().messages[0]
+    assert c.key() == ("A", 7)
+    assert c.uid == msg.uid
+    assert c.ordering is Ordering.SAFE
+    assert c.confirmed is True
+    assert c.audience == frozenset("AB")
+
+
+def test_message_uids_unique():
+    a = PiggybackedMessage("A", 1, "x", 1)
+    b = PiggybackedMessage("A", 1, "x", 1)
+    assert a.uid != b.uid

@@ -1,0 +1,114 @@
+"""Tests for the protocol trace recorder."""
+
+import pytest
+
+from repro.metrics.trace import TraceRecorder, render_timeline
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture
+def traced():
+    cluster = make_cluster("ABC")
+    trace = TraceRecorder(cluster)
+    cluster.start_all()
+    return cluster, trace
+
+
+def test_records_state_transitions(traced):
+    cluster, trace = traced
+    cluster.run(0.5)
+    states = trace.filter(kinds={"state"})
+    assert states
+    assert any("hungry -> eating" in e.detail for e in states)
+
+
+def test_records_token_hops(traced):
+    cluster, trace = traced
+    cluster.run(0.5)
+    hops = trace.filter(kinds={"token"})
+    assert len(hops) > 5
+    assert all("seq=" in e.detail for e in hops)
+    # seqs strictly increase along the trace
+    seqs = [int(e.detail.split("seq=")[1].split(" ")[0]) for e in hops]
+    assert seqs == sorted(seqs)
+
+
+def test_records_views_and_deliveries(traced):
+    cluster, trace = traced
+    cluster.node("A").multicast("traced-msg")
+    cluster.faults.crash_node("C")
+    cluster.run(3.0)
+    assert trace.filter(kinds={"view"})
+    delivers = trace.filter(kinds={"deliver"})
+    assert any("A#1" in e.detail for e in delivers)
+
+
+def test_filter_by_node(traced):
+    cluster, trace = traced
+    cluster.run(0.5)
+    only_b = trace.filter(nodes={"B"})
+    assert only_b and all(e.node == "B" for e in only_b)
+
+
+def test_events_time_ordered(traced):
+    cluster, trace = traced
+    cluster.faults.crash_node("B")
+    cluster.run(3.0)
+    times = [e.at for e in trace.events]
+    assert times == sorted(times)
+
+
+def test_render_timeline(traced):
+    cluster, trace = traced
+    cluster.run(0.2)
+    out = trace.render(limit=10)
+    lines = out.splitlines()
+    assert len(lines) <= 11
+    assert "more events" in lines[-1] or len(trace.events) <= 10
+    assert "s  " in lines[0]
+
+
+def test_render_empty():
+    assert render_timeline([]) == "(no events)"
+
+
+def test_max_events_cap():
+    cluster = make_cluster("AB")
+    trace = TraceRecorder(cluster, max_events=5)
+    cluster.start_all()
+    cluster.run(2.0)
+    assert len(trace.events) == 5
+
+
+def test_clear(traced):
+    cluster, trace = traced
+    cluster.run(0.2)
+    trace.clear()
+    assert trace.events == []
+
+
+def test_render_swimlanes(traced):
+    from repro.metrics.trace import render_swimlanes
+
+    cluster, trace = traced
+    cluster.run(0.2)
+    out = render_swimlanes(trace.events, ["A", "B", "C"], limit=15)
+    lines = out.splitlines()
+    assert "A" in lines[0] and "B" in lines[0] and "C" in lines[0]
+    # Events land in their node's lane: find a B event and check placement.
+    b_events = [e for e in trace.events[:15] if e.node == "B"]
+    if b_events:
+        lane_start = lines[0].index("B")
+        row = next(
+            l for l in lines[2:]
+            if len(l) > lane_start and l[lane_start - 8 : lane_start + 8].strip()
+        )
+        assert row  # something rendered in B's lane region
+
+
+def test_render_swimlanes_empty():
+    from repro.metrics.trace import render_swimlanes
+
+    assert render_swimlanes([], ["A"]) == "(no events)"

@@ -1,0 +1,154 @@
+"""Unit tests for the flow-level traffic engine."""
+
+import pytest
+
+from repro.apps.traffic import Flow, TrafficEngine
+from repro.net.eventloop import EventLoop
+
+
+def make_engine(admit=None, arrival_rate=100.0, flow_size=100_000.0, vips=None):
+    loop = EventLoop(seed=5)
+    engine = TrafficEngine(
+        loop,
+        admit if admit is not None else (lambda f: "gw"),
+        vips if vips is not None else ["10.0.0.1"],
+        arrival_rate=arrival_rate,
+        flow_size=flow_size,
+    )
+    return loop, engine
+
+
+def test_requires_vips_and_positive_rates():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        TrafficEngine(loop, lambda f: None, [])
+    with pytest.raises(ValueError):
+        TrafficEngine(loop, lambda f: None, ["v"], arrival_rate=0)
+    with pytest.raises(ValueError):
+        TrafficEngine(loop, lambda f: None, ["v"], tick=0)
+
+
+def test_flows_arrive_at_configured_rate():
+    loop, engine = make_engine(arrival_rate=200.0)
+    engine.add_gateway("gw", capacity_bps=1e9)
+    engine.start()
+    loop.run_for(5.0)
+    # Poisson(200 * 5) = 1000 expected; 5 sigma ~ 160.
+    assert 800 < engine.stats.started < 1200
+
+
+def test_throughput_capped_by_gateway_capacity():
+    loop, engine = make_engine(arrival_rate=500.0, flow_size=1e6)
+    engine.add_gateway("gw", capacity_bps=10e6)
+    engine.start()
+    loop.run_for(5.0)
+    tp = engine.throughput_bps(since=1.0)
+    assert tp == pytest.approx(10e6, rel=0.05)
+
+
+def test_throughput_matches_offered_load_when_unsaturated():
+    loop, engine = make_engine(arrival_rate=10.0, flow_size=100_000.0)
+    engine.add_gateway("gw", capacity_bps=1e9)
+    engine.start()
+    loop.run_for(10.0)
+    offered = 10.0 * 100_000.0 * 8  # 8 Mbit/s
+    assert engine.throughput_bps(since=1.0) == pytest.approx(offered, rel=0.3)
+
+
+def test_flows_complete_with_exact_bytes():
+    loop, engine = make_engine(arrival_rate=5.0, flow_size=50_000.0)
+    engine.add_gateway("gw", capacity_bps=100e6)
+    engine.start()
+    loop.run_for(5.0)
+    done = [f for f in engine.flows.values() if f.done]
+    assert done
+    for f in done:
+        assert f.done_bytes == pytest.approx(f.size_bytes)
+
+
+def test_capacity_shared_between_flows():
+    """Two concurrent flows each get half the capacity (processor sharing)."""
+    loop, engine = make_engine(arrival_rate=1e-9)  # no background arrivals
+    engine.add_gateway("gw", capacity_bps=8e6)  # 1 MB/s
+    engine.start()
+    for fid in (1, 2):
+        flow = Flow(fid, "10.0.0.1", "c", 80, size_bytes=500_000.0, gateway="gw")
+        engine.flows[fid] = flow
+        engine.gateways["gw"].flows.add(fid)
+    loop.run_for(1.05)
+    # Both complete just after 1s (1 MB/s shared over 1 MB total).
+    assert all(f.done for f in engine.flows.values())
+    assert all(0.9 <= f.finished_at <= 1.1 for f in engine.flows.values())
+
+
+def test_denied_flows_counted():
+    loop, engine = make_engine(admit=lambda f: None)
+    engine.add_gateway("gw")
+    engine.start()
+    loop.run_for(1.0)
+    assert engine.stats.denied > 0
+    assert engine.stats.started == 0
+
+
+def test_gateway_down_stalls_its_flows():
+    loop, engine = make_engine(arrival_rate=50.0)
+    engine.add_gateway("gw", capacity_bps=1e6)  # slow: flows accumulate
+    engine.start()
+    loop.run_for(2.0)
+    active_before = len(engine.gateways["gw"].flows)
+    assert active_before > 0
+    engine.set_gateway_up("gw", False)
+    assert engine.gateways["gw"].flows == set()
+    stalled = engine.stalled_flow_ids()
+    assert len(stalled) >= active_before
+
+
+def test_reassign_resumes_stalled_flows():
+    loop, engine = make_engine(arrival_rate=50.0)
+    engine.add_gateway("gw", capacity_bps=1e6)
+    engine.add_gateway("gw2", capacity_bps=1e9)
+    engine.start()
+    loop.run_for(2.0)
+    engine.set_gateway_up("gw", False)
+    stalled = engine.stalled_flow_ids()
+    t_stall = loop.now
+    loop.run_for(0.5)
+    resumed = engine.reassign_flows(stalled, lambda f: "gw2")
+    assert resumed == len(stalled)
+    for fid in stalled:
+        assert engine.flows[fid].gateway == "gw2"
+        assert engine.flows[fid].total_stall == pytest.approx(0.5, abs=0.01)
+
+
+def test_reassign_skips_down_targets():
+    loop, engine = make_engine(arrival_rate=50.0)
+    engine.add_gateway("gw", capacity_bps=1e6)
+    engine.add_gateway("gw2")
+    engine.start()
+    loop.run_for(1.0)
+    engine.set_gateway_up("gw", False)
+    engine.set_gateway_up("gw2", False)
+    stalled = engine.stalled_flow_ids()
+    assert engine.reassign_flows(stalled, lambda f: "gw2") == 0
+
+
+def test_longest_gap_detects_outage():
+    loop, engine = make_engine(arrival_rate=100.0, flow_size=200_000.0)
+    engine.add_gateway("gw", capacity_bps=50e6)
+    engine.start()
+    loop.run_for(2.0)
+    engine.set_gateway_up("gw", False)
+    loop.run_for(1.5)  # outage
+    engine.set_gateway_up("gw", True)
+    engine.reassign_flows(engine.stalled_flow_ids(), lambda f: "gw")
+    loop.run_for(2.0)
+    gap = engine.longest_gap()
+    assert 1.0 <= gap <= 2.0
+
+
+def test_longest_gap_zero_when_healthy():
+    loop, engine = make_engine(arrival_rate=100.0)
+    engine.add_gateway("gw", capacity_bps=100e6)
+    engine.start()
+    loop.run_for(3.0)
+    assert engine.longest_gap() < 0.2

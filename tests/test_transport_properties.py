@@ -1,0 +1,102 @@
+"""Property-based tests for the reliable transport under random loss."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.datagram import DatagramNetwork
+from repro.net.eventloop import EventLoop
+from repro.net.topology import Topology, build_switched_cluster
+from repro.transport.multipath import SendStrategy
+from repro.transport.reliable import ReliableUnicast, TransportConfig
+
+
+def make_pair(loss, seed, strategy, segments=1, attempts=3):
+    loop = EventLoop(seed=seed)
+    topo = Topology()
+    build_switched_cluster(topo, ["A", "B"], segments=segments, loss=loss)
+    net = DatagramNetwork(loop, topo)
+    cfg = TransportConfig(strategy=strategy, attempts_per_route=attempts)
+    ta = ReliableUnicast("A", loop, net, cfg)
+    tb = ReliableUnicast("B", loop, net, cfg)
+    ta.start()
+    tb.start()
+    return loop, topo, net, ta, tb
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    loss=st.floats(0.0, 0.8),
+    seed=st.integers(0, 2**16),
+    strategy=st.sampled_from(list(SendStrategy)),
+    segments=st.integers(1, 3),
+    n_msgs=st.integers(1, 20),
+)
+def test_success_report_implies_delivery(loss, seed, strategy, segments, n_msgs):
+    """Soundness: every True result corresponds to an actual delivery, and
+    the receiver never sees a payload twice."""
+    loop, topo, net, ta, tb = make_pair(loss, seed, strategy, segments)
+    got: list[object] = []
+    results: list[bool] = []
+    tb.set_receiver(lambda src, p: got.append(p))
+    for i in range(n_msgs):
+        ta.send("B", f"msg-{i}".encode(), on_result=results.append)
+    loop.run_for(10.0)
+    assert len(results) == n_msgs  # every send resolves exactly once
+    assert len(got) == len(set(got))  # exactly-once delivery
+    assert results.count(True) <= len(got)  # success implies delivered
+    assert ta.pending_count() == 0
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 2**16),
+    strategy=st.sampled_from(list(SendStrategy)),
+    attempts=st.integers(1, 5),
+)
+def test_zero_loss_always_succeeds(seed, strategy, attempts):
+    loop, topo, net, ta, tb = make_pair(0.0, seed, strategy, 2, attempts)
+    got, results = [], []
+    tb.set_receiver(lambda src, p: got.append(p))
+    for i in range(10):
+        ta.send("B", str(i).encode(), on_result=results.append)
+    loop.run_for(5.0)
+    assert results == [True] * 10
+    assert sorted(got) == [str(i).encode() for i in range(10)]
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**16), strategy=st.sampled_from(list(SendStrategy)))
+def test_total_blackout_always_fails_within_bound(seed, strategy):
+    loop, topo, net, ta, tb = make_pair(1.0, seed, strategy, 2)
+    resolved_at: list[float] = []
+    ta.send("B", "x", on_result=lambda ok: resolved_at.append(loop.now))
+    loop.run_for(10.0)
+    assert len(resolved_at) == 1
+    bound = ta.config.failure_detection_bound(2)
+    assert resolved_at[0] <= bound + 0.01
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    loss=st.floats(0.3, 0.9),
+    seed=st.integers(0, 2**16),
+)
+def test_redundant_links_never_worse_than_single(loss, seed):
+    """Success probability with two segments is at least that with one
+    (same seed, same message count)."""
+
+    def successes(segments):
+        loop, topo, net, ta, tb = make_pair(
+            loss, seed, SendStrategy.PARALLEL, segments
+        )
+        tb.set_receiver(lambda src, p: None)
+        results = []
+        for i in range(15):
+            ta.send("B", str(i).encode(), on_result=results.append)
+        loop.run_for(10.0)
+        return results.count(True)
+
+    # Not a per-seed guarantee (different RNG draws), so compare with slack.
+    assert successes(2) >= successes(1) - 3

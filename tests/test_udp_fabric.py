@@ -1,0 +1,83 @@
+"""Edge-case tests for the real-UDP fabric (no sockets needed for most)."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.udp import UdpFabric
+
+
+def test_requires_nodes():
+    with pytest.raises(ValueError):
+        UdpFabric({})
+
+
+def test_topology_mirrors_ports():
+    fabric = UdpFabric({"A": 41000, "B": 41001})
+    assert fabric.address_of("A") == "127.0.0.1:41000"
+    assert fabric.topology.owner_of("127.0.0.1:41001") == "B"
+    assert fabric.topology.addresses_of("A") == ["127.0.0.1:41000"]
+
+
+def test_bind_unknown_address_raises():
+    fabric = UdpFabric({"A": 41000})
+    with pytest.raises(KeyError):
+        fabric.bind("127.0.0.1:9", lambda p: None)
+
+
+def test_send_without_endpoint_drops():
+    fabric = UdpFabric({"A": 41010, "B": 41011})
+    fabric.send(fabric.address_of("A"), fabric.address_of("B"), b"x", 1)
+    assert fabric.packets_dropped == 1
+    # The sender is still charged — the model matches the simulator's.
+    assert fabric.stats.for_node("A").packets_sent == 1
+
+
+def test_unpicklable_payload_dropped():
+    fabric = UdpFabric({"A": 41020, "B": 41021})
+
+    async def scenario():
+        await fabric.open("A")
+        try:
+            fabric.send(
+                fabric.address_of("A"),
+                fabric.address_of("B"),
+                lambda: None,  # unpicklable
+                8,
+            )
+            assert fabric.packets_dropped == 1
+        finally:
+            fabric.close_all()
+
+    asyncio.run(scenario())
+
+
+def test_garbage_datagram_dropped():
+    fabric = UdpFabric({"A": 41030})
+    fabric._on_datagram(fabric.address_of("A"), b"\x00not-a-pickle")
+    assert fabric.packets_dropped == 1
+
+
+def test_close_is_idempotent():
+    fabric = UdpFabric({"A": 41040})
+    fabric.close("A")
+    fabric.close("A")  # no endpoint, no error
+
+
+@pytest.mark.slow
+def test_roundtrip_over_real_sockets():
+    fabric = UdpFabric({"A": 41050, "B": 41051})
+
+    async def scenario():
+        await fabric.open_all()
+        got = asyncio.get_event_loop().create_future()
+        fabric.bind(fabric.address_of("B"), lambda p: got.set_result(p))
+        fabric.send(
+            fabric.address_of("A"), fabric.address_of("B"), b"ping", 4
+        )
+        packet = await asyncio.wait_for(got, timeout=3.0)
+        assert packet.payload == b"ping"
+        assert fabric.packets_delivered == 1
+        fabric.close_all()
+
+    asyncio.run(scenario())

@@ -1,0 +1,186 @@
+"""Tests for the Virtual IP Manager (paper §3.1)."""
+
+import pytest
+
+from repro.apps.vip import ArpSubnet, VirtualIPManager, compute_assignment
+from repro.data.shared_dict import SharedDict
+from tests.conftest import make_cluster
+
+pytestmark = pytest.mark.integration
+
+VIPS = ["10.1.0.1", "10.1.0.2", "10.1.0.3", "10.1.0.4"]
+
+
+def make_vip_cluster(ids="ABCD", vips=None, **kw):
+    vips = vips if vips is not None else list(VIPS)
+    c = make_cluster(ids, **kw)
+    subnet = ArpSubnet()
+    mans = {}
+    for nid in ids:
+        node = c.node(nid)
+        shared = SharedDict(node)
+        mans[nid] = VirtualIPManager(node, shared, subnet, vips)
+    c.start_all()
+    c.run(1.0)  # let the initial assignment settle and ARP
+    return c, subnet, mans
+
+
+# ----------------------------------------------------------------------
+# the pure assignment function
+# ----------------------------------------------------------------------
+def test_assignment_covers_all_vips():
+    a = compute_assignment(VIPS, {}, ("A", "B"))
+    assert set(a) == set(VIPS)
+    assert set(a.values()) <= {"A", "B"}
+
+
+def test_assignment_is_balanced():
+    a = compute_assignment(VIPS, {}, ("A", "B"))
+    owners = list(a.values())
+    assert owners.count("A") == owners.count("B") == 2
+
+
+def test_assignment_stable_for_live_owners():
+    current = {"10.1.0.1": "A", "10.1.0.2": "B", "10.1.0.3": "A", "10.1.0.4": "B"}
+    a = compute_assignment(VIPS, current, ("A", "B"))
+    assert a == current
+
+
+def test_assignment_moves_only_orphans():
+    current = {"10.1.0.1": "A", "10.1.0.2": "B", "10.1.0.3": "A", "10.1.0.4": "B"}
+    a = compute_assignment(VIPS, current, ("A", "C"))
+    assert a["10.1.0.1"] == "A"
+    assert a["10.1.0.3"] == "A"
+    assert a["10.1.0.2"] == "C"
+    assert a["10.1.0.4"] == "C"
+
+
+def test_assignment_rebalances_on_growth():
+    current = {v: "A" for v in VIPS}
+    a = compute_assignment(VIPS, current, ("A", "B"))
+    owners = list(a.values())
+    assert owners.count("A") == 2 and owners.count("B") == 2
+
+
+def test_assignment_empty_without_members():
+    assert compute_assignment(VIPS, {}, ()) == {}
+
+
+def test_assignment_deterministic():
+    a1 = compute_assignment(VIPS, {}, ("B", "A", "C"))
+    a2 = compute_assignment(VIPS, {}, ("B", "A", "C"))
+    assert a1 == a2
+
+
+# ----------------------------------------------------------------------
+# the live manager
+# ----------------------------------------------------------------------
+def test_every_vip_owned_by_exactly_one_member():
+    c, subnet, mans = make_vip_cluster()
+    table = mans["A"].assignment()
+    assert set(table) == set(VIPS)
+    assert set(table.values()) <= set("ABCD")
+    # installed sets partition the pool
+    installed = [v for nid in "ABCD" for v in mans[nid].owned_vips()]
+    assert sorted(installed) == sorted(VIPS)
+
+
+def test_replicated_tables_agree():
+    c, subnet, mans = make_vip_cluster()
+    tables = [mans[nid].assignment() for nid in "ABCD"]
+    assert all(t == tables[0] for t in tables)
+
+
+def test_arp_reflects_assignment():
+    c, subnet, mans = make_vip_cluster()
+    table = mans["A"].assignment()
+    for vip, owner in table.items():
+        assert subnet.resolve(vip) == owner
+
+
+def test_failover_moves_only_victims_vips():
+    c, subnet, mans = make_vip_cluster()
+    before = mans["A"].assignment()
+    victim = before[VIPS[0]]
+    untouched = {v: o for v, o in before.items() if o != victim}
+    c.faults.crash_node(victim)
+    c.run(5.0)
+    survivors = [n for n in "ABCD" if n != victim]
+    after = mans[survivors[0]].assignment()
+    assert set(after.values()) <= set(survivors)
+    for vip, owner in untouched.items():
+        assert after[vip] == owner  # survivors' VIPs never moved
+
+
+def test_failover_rearps_moved_vips():
+    c, subnet, mans = make_vip_cluster()
+    before = mans["A"].assignment()
+    victim = before[VIPS[0]]
+    c.faults.crash_node(victim)
+    c.run(5.0)
+    for vip in VIPS:
+        resolved = subnet.resolve(vip)
+        assert resolved is not None and resolved != victim
+
+
+def test_vips_never_unowned_longer_than_failover_bound():
+    """P10: the pool stays fully available through a failure (paper: 'the
+    virtual IPs never disappear as long as at least one physical node is
+    functional')."""
+    c, subnet, mans = make_vip_cluster()
+    victim = mans["A"].assignment()[VIPS[0]]
+    c.faults.crash_node(victim)
+    # After the 2-second fail-over budget every VIP must resolve to a live node.
+    c.run(2.0)
+    live = {n.node_id for n in c.live_nodes()}
+    for vip in VIPS:
+        assert subnet.resolve(vip) in live
+
+
+def test_rebalance_spreads_after_mass_failover():
+    c, subnet, mans = make_vip_cluster()
+    c.faults.crash_node("C")
+    c.faults.crash_node("D")
+    c.run(5.0)
+    table = mans["A"].assignment()
+    owners = list(table.values())
+    assert sorted(set(owners)) == ["A", "B"]
+    assert abs(owners.count("A") - owners.count("B")) <= 1
+
+
+def test_recovered_node_gets_vips_back():
+    c, subnet, mans = make_vip_cluster()
+    c.faults.crash_node("B")
+    c.run(4.0)
+    c.faults.recover_node("B")
+    c.run(6.0)
+    table = mans["A"].assignment()
+    owners = list(table.values())
+    assert owners.count("B") >= 1  # growth rebalancing pulled VIPs onto B
+
+
+def test_explicit_rebalance_levels_ownership():
+    """Paper: "The Virtual IPs can also be moved for load balancing"."""
+    c, subnet, mans = make_vip_cluster()
+    # Skew ownership by crashing and recovering two members: their VIPs
+    # concentrated on the survivors.
+    c.faults.crash_node("C")
+    c.faults.crash_node("D")
+    c.run(5.0)
+    c.faults.recover_node("C")
+    c.faults.recover_node("D")
+    c.run(6.0)
+    coordinator = min(n.node_id for n in c.live_nodes())
+    mans[coordinator].rebalance()
+    c.run(3.0)
+    owners = list(mans[coordinator].assignment().values())
+    counts = {nid: owners.count(nid) for nid in "ABCD"}
+    assert all(v == 1 for v in counts.values()), counts
+
+
+def test_requires_nonempty_pool():
+    c = make_cluster("AB")
+    node = c.node("A")
+    shared = SharedDict(node)
+    with pytest.raises(ValueError):
+        VirtualIPManager(node, shared, ArpSubnet(), [])

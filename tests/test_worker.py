@@ -1,0 +1,65 @@
+"""Tests for the per-process worker runtime."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.worker import build_parser
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+PORTS = {"A": 42200, "B": 42201}
+PEERS = ",".join(f"{n}={p}" for n, p in PORTS.items())
+
+
+def test_parser_requires_core_args():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_port_must_match_peers_entry():
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.runtime.worker",
+            "--node", "A", "--port", "9",
+            "--peers", PEERS, "--duration", "0.1",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    assert proc.returncode != 0
+
+
+def test_two_process_group_forms_and_reports():
+    cmds = {
+        "A": ["--bootstrap", "--multicast-at", "1.0", "--payload", "px"],
+        "B": ["--contact", "A"],
+    }
+    procs = {}
+    for nid, extra in cmds.items():
+        procs[nid] = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.runtime.worker",
+                "--node", nid, "--port", str(PORTS[nid]),
+                "--peers", PEERS, "--duration", "2.5",
+            ] + extra,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+    events = {}
+    for nid, proc in procs.items():
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        events[nid] = [json.loads(l) for l in out.splitlines() if l.strip()]
+    for nid in PORTS:
+        kinds = [e["event"] for e in events[nid]]
+        assert kinds[0] == "started"
+        assert kinds[-1] == "done"
+        done = events[nid][-1]
+        assert sorted(done["members"]) == ["A", "B"]
+        delivered = [e for e in events[nid] if e["event"] == "deliver"]
+        assert delivered and delivered[0]["payload"] == "px"
