@@ -1,0 +1,37 @@
+"""Chaos campaign engine: searching the fault-schedule space.
+
+The test suite's hand-written scenarios cover the faults someone thought
+of.  This package covers the ones nobody did: it *generates* randomized
+fault schedules — composing every :class:`~repro.cluster.faults.FaultInjector`
+primitive with the adversarial network modes of :mod:`repro.net.adversity`
+— runs them against a loaded cluster under continuous
+:class:`~repro.cluster.invariants.InvariantMonitor` sampling, records every
+schedule as a replayable JSON trace, and on failure shrinks the schedule by
+delta debugging to a minimal reproducer.
+
+Pieces:
+
+* :mod:`repro.chaos.schedule` — fault ops, seeded schedule generation, and
+  the canonical JSON trace format (same seed ⇒ byte-identical trace);
+* :mod:`repro.chaos.engine` — one run or a whole campaign: build cluster,
+  apply ops, drive background multicast + SharedDict load, check the
+  global invariants at quiescence;
+* :mod:`repro.chaos.shrink` — ddmin over the op list.
+
+CLI: ``raincore-repro chaos --nodes 8 --seconds 30 --seed 7 --campaign 5``.
+"""
+
+from repro.chaos.engine import CampaignResult, ChaosEngine, RunResult, run_campaign
+from repro.chaos.schedule import ChaosParams, FaultOp, Schedule
+from repro.chaos.shrink import shrink_schedule
+
+__all__ = [
+    "ChaosParams",
+    "FaultOp",
+    "Schedule",
+    "ChaosEngine",
+    "RunResult",
+    "CampaignResult",
+    "run_campaign",
+    "shrink_schedule",
+]

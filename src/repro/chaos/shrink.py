@@ -1,0 +1,105 @@
+"""Automatic schedule shrinking by delta debugging (ddmin).
+
+When a campaign run fails, the generated schedule typically contains dozens
+of fault ops, most of them irrelevant to the failure.  Zeller & Hildebrandt's
+ddmin algorithm reduces the op list to a *1-minimal* subset: removing any
+single remaining op makes the failure disappear.  Because every candidate is
+re-run from the same seed through the full engine, the shrunk trace is a
+true standalone reproducer, not a heuristic guess.
+
+Chaos specifics:
+
+* paired ops ("cut at 3s / restore at 5s") may be split apart by shrinking;
+  the engine's quiescence phase force-heals all link faults and adversities,
+  so an orphaned "on" op is still a well-formed schedule;
+* failures under shrinking are accepted if the candidate fails *at all*
+  (any failure kind): a schedule that trips a different invariant on the
+  way down is still a reproducer worth keeping — the classic ddmin choice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.chaos.schedule import FaultOp, Schedule
+
+__all__ = ["shrink_schedule", "ddmin"]
+
+
+def ddmin(
+    items: list,
+    failing: Callable[[list], bool],
+    max_tests: int = 200,
+) -> tuple[list, int]:
+    """Classic ddmin over ``items``; ``failing(candidate)`` re-runs the test.
+
+    Returns ``(minimal_items, tests_run)``.  ``items`` itself must already
+    be failing.  Stops early (returning the best reduction so far) when the
+    test budget is exhausted.
+    """
+    tests = 0
+    granularity = 2
+    while len(items) >= 2:
+        chunk_size = max(1, len(items) // granularity)
+        chunks = [
+            items[i : i + chunk_size] for i in range(0, len(items), chunk_size)
+        ]
+        reduced = False
+        # Try each chunk alone (reduce to subset) ...
+        for chunk in chunks:
+            if len(chunk) == len(items):
+                continue
+            if tests >= max_tests:
+                return items, tests
+            tests += 1
+            if failing(chunk):
+                items = chunk
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # ... then each complement (reduce by removing one chunk).
+        if granularity > 2 or len(chunks) > 2:
+            for i in range(len(chunks)):
+                candidate = [
+                    op for j, c in enumerate(chunks) if j != i for op in c
+                ]
+                if not candidate or len(candidate) == len(items):
+                    continue
+                if tests >= max_tests:
+                    return items, tests
+                tests += 1
+                if failing(candidate):
+                    items = candidate
+                    granularity = max(2, granularity - 1)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if granularity >= len(items):
+            break
+        granularity = min(len(items), granularity * 2)
+    return items, tests
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    is_failing: Callable[[Schedule], bool],
+    max_tests: int = 200,
+) -> tuple[Schedule, int]:
+    """Shrink a failing schedule to a 1-minimal op list.
+
+    ``is_failing`` runs a candidate schedule through the engine and returns
+    True when it still fails.  Returns ``(minimal_schedule, tests_run)``.
+    Raises ``ValueError`` if ``schedule`` does not fail to begin with — a
+    shrink request for a passing schedule is always a caller bug.
+    """
+    if not is_failing(schedule):
+        raise ValueError("schedule does not fail; nothing to shrink")
+
+    def failing_ops(ops: list[FaultOp]) -> bool:
+        return is_failing(schedule.with_ops(ops))
+
+    minimal_ops, tests = ddmin(list(schedule.ops), failing_ops, max_tests=max_tests)
+    return schedule.with_ops(minimal_ops), tests + 1

@@ -9,7 +9,9 @@ Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
 * ``failover`` — the §3.2 cable-unplug experiment;
 * ``merge`` — split-brain and TBM merge walk-through;
 * ``hierarchy`` — the §5 two-plane scalability extension;
-* ``soak`` — randomized churn with invariant checks.
+* ``soak`` — randomized churn with invariant checks;
+* ``chaos`` — seeded chaos campaigns: generated fault schedules,
+  replayable traces, automatic shrinking of failures.
 
 Everything runs in simulated time, so each command finishes in seconds of
 wall clock regardless of how much virtual time it covers.
@@ -74,6 +76,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=8)
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaigns with replayable traces and shrinking",
+    )
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--seconds", type=float, default=30.0, help="fault window (virtual s)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--campaign", type=int, default=1, metavar="N",
+        help="run N schedules with seeds seed, seed+1, ...",
+    )
+    p.add_argument("--segments", type=int, default=2)
+    p.add_argument(
+        "--intensity", type=float, default=1.0, help="fault event rate multiplier"
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="flag every double-token sample instead of bounding the window",
+    )
+    p.add_argument(
+        "--replay", metavar="TRACE.json",
+        help="replay a recorded trace instead of generating schedules",
+    )
+    p.add_argument(
+        "--artifacts", default="chaos-artifacts", metavar="DIR",
+        help="directory for failing traces and their shrunk reproducers",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true", help="skip shrinking failing schedules"
+    )
+    p.add_argument(
+        "--print-trace", action="store_true",
+        help="print the generated (or replayed) schedule's JSON trace",
+    )
 
     return parser
 
@@ -261,6 +298,74 @@ def cmd_soak(args) -> int:
     return 0 if ok and dupes == 0 else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import ChaosEngine, Schedule, run_campaign, shrink_schedule
+
+    if args.replay:
+        with open(args.replay, encoding="utf-8") as fh:
+            schedule = Schedule.from_json(fh.read())
+        params = schedule.params
+        if args.print_trace:
+            print(schedule.to_json(), end="")
+        print(
+            f"replaying {args.replay}: nodes={params.nodes} "
+            f"seconds={params.seconds:g} seed={params.seed} "
+            f"ops={len(schedule.ops)}"
+        )
+        result = ChaosEngine(schedule).run()
+        if result.ok:
+            print(f"clean ({result.stats['deliveries']} deliveries)")
+            return 0
+        print(f"FAILED [{result.failure}] {result.detail}")
+        if not args.no_shrink and len(schedule.ops) > 1:
+            print("shrinking ...")
+            minimal, tests = shrink_schedule(
+                schedule, lambda s: not ChaosEngine(s).run().ok
+            )
+            print(
+                f"shrunk {len(schedule.ops)} -> {len(minimal.ops)} ops "
+                f"in {tests} engine runs:"
+            )
+            for op in minimal.ops:
+                print(f"  t={op.at:<10g} {op.kind} {list(op.args)}")
+        return 1
+
+    if args.print_trace:
+        from repro.chaos import ChaosParams
+
+        print(
+            Schedule.generate(
+                ChaosParams(
+                    nodes=args.nodes,
+                    seconds=args.seconds,
+                    seed=args.seed,
+                    segments=args.segments,
+                    intensity=args.intensity,
+                    strict=args.strict,
+                )
+            ).to_json(),
+            end="",
+        )
+    campaign = run_campaign(
+        args.nodes,
+        args.seconds,
+        args.seed,
+        campaign=args.campaign,
+        segments=args.segments,
+        intensity=args.intensity,
+        strict=args.strict,
+        artifacts_dir=args.artifacts,
+        shrink=not args.no_shrink,
+        log=print,
+    )
+    campaign.summary_table().print()
+    if campaign.artifacts:
+        print("artifacts:")
+        for path in campaign.artifacts:
+            print(f"  {path}")
+    return 0 if campaign.ok else 1
+
+
 def cmd_hierarchy(args) -> int:
     from repro.hierarchy import HierarchicalCluster
 
@@ -294,6 +399,7 @@ _COMMANDS = {
     "merge": cmd_merge,
     "hierarchy": cmd_hierarchy,
     "soak": cmd_soak,
+    "chaos": cmd_chaos,
 }
 
 

@@ -10,8 +10,18 @@ same discipline:
   **snapshot** — whose content is materialized at token-attach time so it
   sits at a well-defined position in the total order; buffered (hence
   earlier-ordered) ops are dropped when the snapshot arrives;
-* on every view **growth**, the lowest-id *synced* member multicasts a
-  snapshot (idempotent; no view-id dedup — ids collide across lineages);
+* on every view **growth**, the lowest-id *surviving* member — lowest id
+  among nodes present in both the old and new view, i.e. one that
+  witnessed the order the joiners missed — multicasts a snapshot
+  (idempotent; no view-id dedup — ids collide across lineages).  Picking
+  the lowest id of the *new* view is wrong: when the minimum-id node is
+  itself the (stale) rejoiner, its own view diff is empty and nobody
+  else elects itself, so no transfer ever happens (found by chaos
+  campaigning; minimal reproducer: crash the minimum-id node late in a
+  write workload, let it rejoin);
+* a **restart is amnesia**: a node that went DOWN and starts again must
+  not trust its pre-crash replica — it re-enters the unsynced state and
+  reacquires a snapshot before applying (or serving) anything new;
 * **anti-entropy** (the part a first implementation gets wrong): an
   unsynced member cannot rely on growth events alone — it periodically
   multicasts a ``SyncRequest`` until synced, and every synced member
@@ -137,6 +147,26 @@ class ReplicaBase(SessionListener):
         self.node.multicast(DeferredPayload(materialize))
 
     # ------------------------------------------------------------------
+    # lifecycle: a restart is amnesia
+    # ------------------------------------------------------------------
+    def on_state_change(self, old, new) -> None:
+        from repro.core.states import NodeState
+
+        if old is not NodeState.DOWN or new is not NodeState.JOINING:
+            return
+        # The node is starting (or restarting).  A real crashed process
+        # lost its replica; trusting the pre-crash `_synced` flag silently
+        # serves — and extends — stale state after rejoin.  Re-enter the
+        # unsynced protocol; the local state stays readable but the next
+        # snapshot overwrites it wholesale.  A founding singleton is
+        # re-synced immediately by the first view change.
+        self._synced = False
+        self._buffer.clear()
+        self._last_view = ()
+        self._sync_requests_sent = 0
+        self._cancel_sync_timer()
+
+    # ------------------------------------------------------------------
     # membership handling
     # ------------------------------------------------------------------
     def on_view_change(self, view: ViewChange) -> None:
@@ -157,7 +187,12 @@ class ReplicaBase(SessionListener):
         added = set(view.members) - set(previous)
         if not added or previous == ():
             return
-        if self.node.node_id != min(view.members):
+        # State transfer falls to the lowest-id *survivor* of the previous
+        # view — it witnessed the order the joiners missed.  min(members)
+        # may be a stale rejoiner whose own view diff is empty.
+        survivors = set(previous) & set(view.members)
+        sender = min(survivors) if survivors else min(view.members)
+        if self.node.node_id != sender:
             return
         self._multicast_snapshot()
 

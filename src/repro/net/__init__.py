@@ -7,6 +7,7 @@ adds controllable fault injection (loss, link cuts, partitions, crashes).
 See DESIGN.md §2 for the substitution argument.
 """
 
+from repro.net.adversity import GilbertElliott
 from repro.net.datagram import Datagram, DatagramNetwork
 from repro.net.eventloop import EventLoop, TimerHandle
 from repro.net.simclock import SimClock
@@ -14,6 +15,7 @@ from repro.net.stats import CpuModel, NodeStats, StatsRegistry
 from repro.net.topology import NodeSite, Segment, Topology, build_switched_cluster
 
 __all__ = [
+    "GilbertElliott",
     "Datagram",
     "DatagramNetwork",
     "EventLoop",

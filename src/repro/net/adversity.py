@@ -1,0 +1,75 @@
+"""Adversarial network conditions beyond independent per-packet loss.
+
+The base :class:`~repro.net.datagram.DatagramNetwork` models the paper's
+benign LAN: independent Bernoulli loss, uniform jitter, no duplication.
+Real networking elements see worse — and the chaos engine
+(:mod:`repro.chaos`) needs to produce worse on demand:
+
+* **Packet duplication** — a switch or a retransmitting driver delivers the
+  same frame twice.  UDP explicitly permits this; the session layer must
+  suppress it end to end.
+* **Gilbert–Elliott burst loss** — losses on real links are correlated:
+  a two-state Markov chain alternates between a (nearly) clean *good*
+  state and a lossy *bad* state, producing loss bursts whose length is
+  geometrically distributed.  This is the classic Gilbert (1960) /
+  Elliott (1963) channel model.
+* **Delay spikes** — a queue builds somewhere and a packet is suddenly
+  delayed by orders of magnitude more than the segment latency (garbage
+  collection, a flapping spanning tree, a congested uplink).
+
+All state transitions draw from the event loop's seeded RNG, so adversarial
+runs replay deterministically — the property the chaos traces rely on.
+
+Flapping ("gray") NICs are the fourth adversity; they are a *schedule* of
+:meth:`~repro.net.topology.Topology.set_nic_up` toggles rather than a
+per-packet model, and live on
+:meth:`~repro.cluster.faults.FaultInjector.flap_nic`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["GilbertElliott"]
+
+
+@dataclass
+class GilbertElliott:
+    """Two-state Markov (Gilbert–Elliott) burst-loss channel.
+
+    Parameters
+    ----------
+    p_enter_burst:
+        Per-packet probability of moving good → bad.
+    p_exit_burst:
+        Per-packet probability of moving bad → good (mean burst length in
+        packets is ``1 / p_exit_burst``).
+    loss_good:
+        Drop probability while in the good state (usually 0 or tiny).
+    loss_bad:
+        Drop probability while in the bad state (usually near 1).
+    """
+
+    p_enter_burst: float
+    p_exit_burst: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    in_burst: bool = False  #: current channel state (mutates per packet)
+
+    def __post_init__(self) -> None:
+        for name in ("p_enter_burst", "p_exit_burst", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    def sample(self, rng: random.Random) -> bool:
+        """Advance the channel one packet; return True if that packet drops."""
+        if self.in_burst:
+            if rng.random() < self.p_exit_burst:
+                self.in_burst = False
+        else:
+            if rng.random() < self.p_enter_burst:
+                self.in_burst = True
+        loss = self.loss_bad if self.in_burst else self.loss_good
+        return loss > 0.0 and rng.random() < loss

@@ -5,8 +5,10 @@ unreliable unicast interface to send and receive packets.  In typical
 implementations, it uses UDP."  This module is that interface for the
 simulated cluster:
 
-* best-effort: packets may be dropped (segment loss probability, downed
-  NICs/nodes, blocked pairs, partitions) and mildly reordered by jitter;
+* best-effort: packets may be dropped (segment loss probability, burst-loss
+  channels, downed NICs/nodes, blocked pairs, partitions), duplicated
+  (segment duplication probability), and reordered by jitter or delay
+  spikes — everything UDP permits;
 * atomic: a packet arrives whole or not at all — there is no fragmentation
   or corruption in the model, matching the paper's atomic-unicast framing;
 * unicast only: a "broadcast" can only be built from N unicasts, which is
@@ -77,13 +79,46 @@ class DatagramNetwork:
         self._handlers: dict[str, PacketHandler] = {}
         self.packets_dropped = 0
         self.packets_delivered = 0
+        self.packets_duplicated = 0
         # Optional wiretap for tests/tracing: called for every send attempt.
         self.trace: Callable[[Datagram, bool], None] | None = None
         # Optional selective filter: return False to drop a packet.  This is
         # the surgical fault-injection hook (e.g. "drop only the ACKs from B
         # to A for 300 ms" — the scenario that manufactures failure-detector
-        # false alarms deterministically).
+        # false alarms deterministically).  Prefer the stacked add_filter /
+        # remove_filter API (surfaced as FaultInjector.drop_matching), which
+        # composes; this single-slot attribute is kept for direct wiring.
         self.filter: Callable[[Datagram], bool] | None = None
+        self._filters: dict[int, Callable[[Datagram], bool]] = {}
+        self._filter_ids = 0
+
+    # ------------------------------------------------------------------
+    # selective drop filters
+    # ------------------------------------------------------------------
+    def add_filter(self, pred: Callable[[Datagram], bool]) -> int:
+        """Install a drop filter; returns a handle for :meth:`remove_filter`.
+
+        ``pred`` returns False for packets that must be dropped.  All
+        installed filters apply simultaneously (a packet any filter rejects
+        is dropped), so independent fault scenarios compose.
+        """
+        self._filter_ids += 1
+        self._filters[self._filter_ids] = pred
+        return self._filter_ids
+
+    def remove_filter(self, handle: int) -> None:
+        """Uninstall one filter; unknown handles are ignored (idempotent)."""
+        self._filters.pop(handle, None)
+
+    def clear_filters(self) -> None:
+        """Remove every stacked filter (the legacy ``filter`` slot too)."""
+        self._filters.clear()
+        self.filter = None
+
+    def _filtered_out(self, packet: Datagram) -> bool:
+        if self.filter is not None and not self.filter(packet):
+            return True
+        return any(not pred(packet) for pred in self._filters.values())
 
     # ------------------------------------------------------------------
     # binding
@@ -116,19 +151,33 @@ class DatagramNetwork:
         if not self.topology.can_deliver(src, dst):
             self._drop(packet)
             return
-        if self.filter is not None and not self.filter(packet):
+        if self._filtered_out(packet):
             self._drop(packet)
             return
         seg = self.topology.path_params(src, dst)
         if seg.loss > 0.0 and self.loop.rng.random() < seg.loss:
             self._drop(packet)
             return
+        if seg.burst is not None and seg.burst.sample(self.loop.rng):
+            self._drop(packet)
+            return
         delay = seg.latency
         if seg.jitter > 0.0:
             delay += self.loop.rng.random() * seg.jitter
+        if seg.spike_prob > 0.0 and self.loop.rng.random() < seg.spike_prob:
+            delay += seg.spike_extra
         if self.trace is not None:
             self.trace(packet, True)
         self.loop.call_later(delay, self._deliver, packet)
+        if seg.duplicate > 0.0 and self.loop.rng.random() < seg.duplicate:
+            # The twin takes an independent (jittered) path, so it may
+            # arrive before or after the original — duplication and
+            # reordering come as a package, exactly as on a real LAN.
+            twin_delay = seg.latency
+            if seg.jitter > 0.0:
+                twin_delay += self.loop.rng.random() * seg.jitter
+            self.packets_duplicated += 1
+            self.loop.call_later(twin_delay, self._deliver, packet)
 
     def _drop(self, packet: Datagram) -> None:
         self.packets_dropped += 1

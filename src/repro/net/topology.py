@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.net.adversity import GilbertElliott
+
 __all__ = ["Segment", "NodeSite", "Topology"]
 
 
@@ -38,6 +40,11 @@ class Segment:
     (paper §4.1's 100 Mbps Fast Ethernet arithmetic); the datagram layer
     itself does not rate-limit protocol packets, whose bandwidth is
     negligible by design.
+
+    The adversity knobs (``duplicate``, ``spike_prob``/``spike_extra``,
+    ``burst``) default to off, preserving the paper's benign-LAN model;
+    the chaos engine flips them mid-run through
+    :class:`~repro.cluster.faults.FaultInjector`.
     """
 
     name: str
@@ -45,13 +52,26 @@ class Segment:
     jitter: float = 20e-6  #: uniform extra delay in [0, jitter)
     loss: float = 0.0  #: independent per-packet drop probability
     capacity_mbps: float = 100.0  #: Fast Ethernet per the paper's testbed
+    duplicate: float = 0.0  #: probability a delivered packet arrives twice
+    spike_prob: float = 0.0  #: probability of a delay spike per packet
+    spike_extra: float = 0.0  #: extra one-way delay of a spiked packet
+    burst: GilbertElliott | None = None  #: correlated (burst) loss channel
     attached: set[str] = field(default_factory=set)  #: NIC addresses on segment
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.loss <= 1.0:
-            raise ValueError(f"loss must be a probability, got {self.loss}")
-        if self.latency < 0 or self.jitter < 0:
-            raise ValueError("latency and jitter must be non-negative")
+        for name in ("loss", "duplicate", "spike_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.latency < 0 or self.jitter < 0 or self.spike_extra < 0:
+            raise ValueError("latency, jitter and spike_extra must be non-negative")
+
+    def clear_adversities(self) -> None:
+        """Reset duplication, spikes and burst loss to the benign model."""
+        self.duplicate = 0.0
+        self.spike_prob = 0.0
+        self.spike_extra = 0.0
+        self.burst = None
 
 
 @dataclass
@@ -190,6 +210,18 @@ class Topology:
     def heal_partition(self) -> None:
         """Remove any partition; blocked pairs are unaffected."""
         self._partition_groups = {}
+
+    def clear_link_faults(self) -> None:
+        """Heal every link-level fault at once: partitions gone, all
+        blocked pairs unblocked, every NIC replugged, every per-segment
+        adversity reset.  Node up/down state is untouched — recovering
+        crashed nodes is a protocol action, not a cable repair."""
+        self._partition_groups = {}
+        self._blocked_pairs.clear()
+        for address in self._addr_up:
+            self._addr_up[address] = True
+        for seg in self._segments.values():
+            seg.clear_adversities()
 
     # ------------------------------------------------------------------
     # reachability

@@ -1,0 +1,207 @@
+"""Tests for the chaos campaign engine (repro.chaos).
+
+The acceptance properties of docs/CHAOS.md:
+
+* same seed ⇒ byte-identical trace and identical run outcome;
+* a trace survives a JSON round trip exactly;
+* a deliberately violating schedule is shrunk to a strictly smaller
+  trace that still reproduces the violation on replay.
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosEngine,
+    ChaosParams,
+    FaultOp,
+    Schedule,
+    run_campaign,
+    shrink_schedule,
+)
+from repro.chaos.schedule import OP_KINDS, node_names, segment_names
+from repro.chaos.shrink import ddmin
+
+pytestmark = pytest.mark.integration
+
+
+def small_params(**overrides):
+    defaults = dict(nodes=5, seconds=6.0, seed=3)
+    defaults.update(overrides)
+    return ChaosParams(**defaults)
+
+
+# ----------------------------------------------------------------------
+# schedules and traces
+# ----------------------------------------------------------------------
+def test_generation_is_deterministic_and_canonical():
+    p = small_params()
+    s1, s2 = Schedule.generate(p), Schedule.generate(p)
+    assert s1 == s2
+    assert s1.to_json() == s2.to_json()  # byte-identical
+    assert Schedule.generate(small_params(seed=4)).to_json() != s1.to_json()
+
+
+def test_trace_roundtrip_is_exact():
+    s = Schedule.generate(small_params(seed=11, strict=True))
+    back = Schedule.from_json(s.to_json())
+    assert back == s
+    assert back.to_json() == s.to_json()
+    assert back.params.strict is True
+
+
+def test_generated_ops_are_valid_and_ordered():
+    p = ChaosParams(nodes=8, seconds=30.0, seed=7, intensity=2.0)
+    s = Schedule.generate(p)
+    assert len(s.ops) >= 10
+    names = set(node_names(p.nodes))
+    segs = set(segment_names(p.segments))
+    assert [op.at for op in s.ops] == sorted(op.at for op in s.ops)
+    for op in s.ops:
+        assert op.kind in OP_KINDS
+        assert 0.0 <= op.at <= p.seconds
+        for arg in op.args:
+            if isinstance(arg, str) and arg.startswith("n"):
+                assert arg in names or arg in segs
+
+
+def test_trace_format_is_validated():
+    with pytest.raises(ValueError):
+        Schedule.from_json('{"format": "something-else", "version": 1}')
+    with pytest.raises(ValueError):
+        Schedule.from_json(
+            '{"format": "raincore-chaos-trace", "version": 99, '
+            '"params": {}, "ops": []}'
+        )
+    with pytest.raises(ValueError):
+        FaultOp.from_obj({"at": 1.0, "kind": "meteor-strike", "args": []})
+
+
+def test_intensity_scales_event_count():
+    quiet = Schedule.generate(small_params(seconds=20.0, intensity=0.5))
+    wild = Schedule.generate(small_params(seconds=20.0, intensity=3.0))
+    assert len(wild.ops) > len(quiet.ops)
+
+
+# ----------------------------------------------------------------------
+# engine runs
+# ----------------------------------------------------------------------
+def test_engine_run_is_deterministic():
+    s = Schedule.generate(small_params())
+    r1 = ChaosEngine(s).run()
+    r2 = ChaosEngine(s).run()
+    assert r1.ok and r2.ok
+    assert r1.stats == r2.stats
+
+
+def test_engine_replay_from_trace_matches_original():
+    s = Schedule.generate(small_params(seed=5))
+    original = ChaosEngine(s).run()
+    replayed = ChaosEngine(Schedule.from_json(s.to_json())).run()
+    assert replayed.ok == original.ok
+    assert replayed.stats == original.stats
+
+
+def test_clean_campaign_smoke():
+    result = run_campaign(5, 6.0, 3, campaign=2, shrink=False)
+    assert result.ok
+    assert len(result.results) == 2
+    assert {r.seed for r in result.results} == {3, 4}
+    table = result.summary_table()
+    assert len(table.rows) == 2
+    assert "ok" in table.render()
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def test_ddmin_reduces_to_single_cause():
+    """ddmin finds the single failing item among decoys."""
+    failing_calls = []
+
+    def failing(items):
+        failing_calls.append(list(items))
+        return 13 in items
+
+    minimal, tests = ddmin(list(range(20)), failing)
+    assert minimal == [13]
+    assert tests == len(failing_calls)
+
+
+def test_ddmin_conjunction_of_two():
+    minimal, _ = ddmin(list(range(16)), lambda s: 3 in s and 12 in s)
+    assert sorted(minimal) == [3, 12]
+
+
+def test_ddmin_respects_budget():
+    minimal, tests = ddmin(list(range(64)), lambda s: 63 in s, max_tests=5)
+    assert tests <= 5
+    assert 63 in minimal  # still failing, just not fully minimized
+
+
+def test_shrink_rejects_passing_schedule():
+    s = Schedule.generate(small_params())
+    with pytest.raises(ValueError):
+        shrink_schedule(s, lambda _s: False)
+
+
+def test_violating_schedule_shrinks_to_minimal_repro():
+    """The acceptance fixture: a schedule with one genuinely violating op
+    (a forged duplicate token, flagged by the strict monitor) buried in
+    benign noise is shrunk to a strictly smaller trace that still
+    reproduces the violation on replay."""
+    params = small_params(seed=21, strict=True)
+    schedule = Schedule(
+        params=params,
+        ops=[
+            FaultOp(at=0.8, kind="cut_link", args=("n01", "n03")),
+            FaultOp(at=1.4, kind="restore_link", args=("n01", "n03")),
+            FaultOp(at=1.6, kind="duplicate", args=("net0", 0.2)),
+            FaultOp(at=2.5, kind="forge_duplicate_token"),
+            FaultOp(at=3.0, kind="duplicate", args=("net0", 0.0)),
+            FaultOp(at=3.5, kind="spike", args=("net1", 0.05, 0.02)),
+            FaultOp(at=4.2, kind="spike_off", args=("net1",)),
+        ],
+    )
+
+    def is_failing(candidate):
+        result = ChaosEngine(candidate).run()
+        return not result.ok
+
+    failing_run = ChaosEngine(schedule).run()
+    assert not failing_run.ok
+    assert failing_run.failure.startswith("invariant:token-uniqueness")
+
+    minimal, tests = shrink_schedule(schedule, is_failing, max_tests=32)
+    assert len(minimal.ops) < len(schedule.ops)  # strictly smaller
+    assert minimal.ops == [FaultOp(at=2.5, kind="forge_duplicate_token")]
+    # The minimal trace replays to the same violation after a round trip.
+    replay = ChaosEngine(Schedule.from_json(minimal.to_json())).run()
+    assert not replay.ok
+    assert replay.failure.startswith("invariant:token-uniqueness")
+    assert tests >= 1
+
+
+def test_campaign_writes_artifacts_and_shrinks(tmp_path):
+    """A failing campaign run records its trace and a shrunk reproducer."""
+    # seconds=4 with a forged token at 2.0: strict mode fails determinately.
+    # Build the campaign by replaying through run_campaign's machinery is
+    # generation-driven, so instead drive the engine + artifact path via a
+    # hand-made failing schedule and the public shrink API.
+    params = small_params(seed=33, strict=True)
+    schedule = Schedule(
+        params=params,
+        ops=[
+            FaultOp(at=1.5, kind="lose_token"),
+            FaultOp(at=2.0, kind="forge_duplicate_token"),
+        ],
+    )
+    result = ChaosEngine(schedule).run()
+    assert not result.ok
+    minimal, _ = shrink_schedule(
+        schedule, lambda s: not ChaosEngine(s).run().ok, max_tests=16
+    )
+    assert len(minimal.ops) == 1
+    path = tmp_path / "trace.min.json"
+    path.write_text(minimal.to_json())
+    again = Schedule.from_json(path.read_text())
+    assert not ChaosEngine(again).run().ok

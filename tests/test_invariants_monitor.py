@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cluster.invariants import InvariantMonitor
-from repro.transport.messages import AckFrame
 from tests.conftest import make_cluster
 
 pytestmark = pytest.mark.integration
@@ -40,20 +39,8 @@ def test_ack_blackout_double_window_is_bounded(abcd):
     the monitor quantifies it and shows it is bounded, not silent."""
     monitor = InvariantMonitor(abcd, interval=0.001)
     monitor.start()
-    topo = abcd.topology
-
-    def drop_b_to_a_acks(packet):
-        frame = packet.payload
-        if not isinstance(frame, AckFrame):
-            return True
-        return not (
-            topo.owner_of(packet.src) == "B" and topo.owner_of(packet.dst) == "A"
-        )
-
-    abcd.network.filter = drop_b_to_a_acks
-    abcd.run(1.0)
-    abcd.network.filter = None
-    abcd.run(5.0)
+    abcd.faults.ack_blackout("B", "A", duration=1.0)
+    abcd.run(6.0)
     monitor.stop()
     assert monitor.violations == []  # monotonicity & legality always hold
     # Any duplicate window is transient: well under the blackout duration.
@@ -73,6 +60,44 @@ def test_strict_mode_flags_double_tokens(abcd):
     monitor.double_token_time = 0.1
     with pytest.raises(AssertionError):
         monitor.assert_clean()
+
+
+def test_strict_monitor_catches_forged_duplicate(abcd):
+    """A forged duplicate token is observed by the strict monitor as a
+    token-uniqueness violation, and the non-strict counter accrues the
+    same window as double-token time."""
+    strict = InvariantMonitor(abcd, interval=0.001, strict=True)
+    strict.start()
+    abcd.run(0.5)
+    assert strict.violations == []
+    assert abcd.faults.forge_duplicate_token()
+    abcd.run(0.5)
+    strict.stop()
+    kinds = {v.kind for v in strict.violations}
+    assert "token-uniqueness" in kinds
+    # Strict mode flags *and* accounts: the counted window matches the
+    # number of flagged samples times the sampling interval.
+    flagged = sum(1 for v in strict.violations if v.kind == "token-uniqueness")
+    assert strict.double_token_time == pytest.approx(flagged * strict.interval)
+    with pytest.raises(AssertionError):
+        strict.assert_clean()
+
+
+def test_false_alarm_wrongful_removal_then_rejoin(abcd):
+    """A failure-detector false alarm wrongly removes a live node; the
+    victim is healthy, notices, and rejoins — membership returns to full
+    strength with no invariant violations."""
+    monitor = InvariantMonitor(abcd, interval=0.001)
+    monitor.start()
+    abcd.faults.false_alarm("A", "B")
+    deadline = abcd.loop.now + 10.0
+    while abcd.loop.now < deadline and "B" in abcd.node("A").members:
+        abcd.run(0.05)
+    assert "B" not in abcd.node("A").members, "false alarm never removed the victim"
+    assert abcd.node("B").state.value != "down"  # victim was never sick
+    assert abcd.run_until_converged(20.0, expected=set("ABCD"))
+    monitor.stop()
+    monitor.assert_clean(max_double_token_time=0.5)
 
 
 def test_restarted_node_not_misread_as_regression():

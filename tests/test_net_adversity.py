@@ -1,0 +1,101 @@
+"""Unit tests for the adversarial network models (repro.net.adversity)."""
+
+import random
+
+import pytest
+
+from repro.net.adversity import GilbertElliott
+from repro.net.topology import Segment
+
+
+# ----------------------------------------------------------------------
+# Gilbert–Elliott burst-loss channel
+# ----------------------------------------------------------------------
+def test_gilbert_elliott_validates_probabilities():
+    with pytest.raises(ValueError):
+        GilbertElliott(p_enter_burst=1.5, p_exit_burst=0.5)
+    with pytest.raises(ValueError):
+        GilbertElliott(p_enter_burst=0.1, p_exit_burst=-0.1)
+    with pytest.raises(ValueError):
+        GilbertElliott(p_enter_burst=0.1, p_exit_burst=0.5, loss_bad=2.0)
+
+
+def test_gilbert_elliott_losses_cluster_in_bursts():
+    """Same long-run loss rate, very different clustering: consecutive
+    losses are far more likely under the bursty channel than independent
+    drops at the equivalent uniform rate."""
+    rng = random.Random(7)
+    ge = GilbertElliott(p_enter_burst=0.02, p_exit_burst=0.25)
+    draws = [ge.sample(rng) for _ in range(40_000)]
+    loss_rate = sum(draws) / len(draws)
+    assert 0.01 < loss_rate < 0.25
+    pairs = sum(1 for a, b in zip(draws, draws[1:]) if a and b)
+    # Under independent losses at the same rate, P(two in a row) would be
+    # loss_rate**2; the burst channel correlates consecutive losses.
+    independent_pairs = loss_rate**2 * (len(draws) - 1)
+    assert pairs > 4 * independent_pairs
+
+
+def test_gilbert_elliott_degenerate_channels():
+    rng = random.Random(1)
+    never = GilbertElliott(p_enter_burst=0.0, p_exit_burst=1.0)
+    assert not any(never.sample(rng) for _ in range(1000))
+    always = GilbertElliott(
+        p_enter_burst=1.0, p_exit_burst=0.0, loss_good=1.0, loss_bad=1.0
+    )
+    assert all(always.sample(rng) for _ in range(1000))
+
+
+def test_gilbert_elliott_is_deterministic_given_rng():
+    ge1 = GilbertElliott(p_enter_burst=0.05, p_exit_burst=0.3)
+    ge2 = GilbertElliott(p_enter_burst=0.05, p_exit_burst=0.3)
+    r1, r2 = random.Random(99), random.Random(99)
+    assert [ge1.sample(r1) for _ in range(500)] == [
+        ge2.sample(r2) for _ in range(500)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Segment adversity knobs
+# ----------------------------------------------------------------------
+def test_segment_validates_adversity_probabilities():
+    with pytest.raises(ValueError):
+        Segment(name="bad", duplicate=1.5)
+    with pytest.raises(ValueError):
+        Segment(name="bad", spike_prob=-0.1)
+
+
+def test_segment_clear_adversities():
+    seg = Segment(
+        name="net0",
+        duplicate=0.3,
+        spike_prob=0.1,
+        spike_extra=0.01,
+        burst=GilbertElliott(p_enter_burst=0.1, p_exit_burst=0.5),
+    )
+    seg.clear_adversities()
+    assert seg.duplicate == 0.0
+    assert seg.spike_prob == 0.0
+    assert seg.spike_extra == 0.0
+    assert seg.burst is None
+
+
+def test_clear_link_faults_heals_everything(abcd):
+    """Topology.clear_link_faults undoes partitions, blocked pairs, NIC
+    downs and adversities — but not crashed nodes (protocol state)."""
+    topo = abcd.topology
+    abcd.faults.partition(["A", "B"], ["C", "D"])
+    abcd.faults.cut_link("A", "C")
+    addr = abcd.faults.unplug_cable("B")
+    abcd.faults.set_duplication(0.5)
+    abcd.faults.crash_node("D")
+    topo.clear_link_faults()
+    assert topo.nic_up(addr) is True
+    for seg in topo.segments():
+        assert seg.duplicate == 0.0
+    # A partitioned/blocked pair can reach each other again.
+    assert topo.can_deliver(
+        topo.addresses_of("A")[0], topo.addresses_of("C")[0]
+    )
+    # The crashed node stays down: recovery is a protocol action.
+    assert abcd.node("D").state.value == "down"
