@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Standalone driver for the simulator perf-regression harness.
+
+Thin wrapper around :mod:`repro.perf` (the same engine behind
+``raincore-repro bench``) so the benchmark directory has a one-command
+entry point:
+
+    PYTHONPATH=src python benchmarks/perf_harness.py
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick \
+        --check benchmarks/BENCH_simulator.json
+
+Writes ``benchmarks/BENCH_simulator.json`` by default; pass ``--out`` to
+redirect, or ``--check BASELINE`` to gate on a committed baseline instead
+of overwriting it (the CI perf-smoke job does exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--out" not in argv and "--check" not in argv:
+        argv += ["--out", os.path.join(os.path.dirname(__file__), "BENCH_simulator.json")]
+    sys.exit(main(["bench", *argv]))

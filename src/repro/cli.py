@@ -11,7 +11,9 @@ Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
 * ``hierarchy`` — the §5 two-plane scalability extension;
 * ``soak`` — randomized churn with invariant checks;
 * ``chaos`` — seeded chaos campaigns: generated fault schedules,
-  replayable traces, automatic shrinking of failures.
+  replayable traces, automatic shrinking of failures;
+* ``bench`` — wall-clock throughput of the simulator itself, with
+  optional regression gating against a committed baseline.
 
 Everything runs in simulated time, so each command finishes in seconds of
 wall clock regardless of how much virtual time it covers.
@@ -110,6 +112,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--print-trace", action="store_true",
         help="print the generated (or replayed) schedule's JSON trace",
+    )
+
+    p = sub.add_parser(
+        "bench", help="simulator throughput benchmarks and regression gate"
+    )
+    p.add_argument(
+        "--out", metavar="REPORT.json",
+        help="write the JSON report here (default: print to stdout only)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload for CI smoke runs (same rate metrics)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=None,
+        help="runs per benchmark, best-of reported (default: 5, or 3 with --quick)",
+    )
+    p.add_argument(
+        "--check", metavar="BASELINE.json",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional slowdown vs the baseline (default 0.30)",
     )
 
     return parser
@@ -390,6 +416,31 @@ def cmd_hierarchy(args) -> int:
     return 0 if ok and reach == len(h.machine_ids) else 1
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from repro import perf
+
+    report = perf.run_suite(quick=args.quick, repeats=args.repeats)
+    for name, value in sorted(report["metrics"].items()):
+        print(f"{name:>32}: {value:,}" if isinstance(value, int) else
+              f"{name:>32}: {value}")
+    if args.out:
+        perf.write_report(args.out, report)
+        print(f"report written to {args.out}")
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = perf.compare(report, baseline, args.tolerance)
+        if problems:
+            print(f"PERF REGRESSION vs {args.check}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"within {args.tolerance:.0%} of baseline {args.check}")
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "quickstart": cmd_quickstart,
@@ -400,6 +451,7 @@ _COMMANDS = {
     "hierarchy": cmd_hierarchy,
     "soak": cmd_soak,
     "chaos": cmd_chaos,
+    "bench": cmd_bench,
 }
 
 

@@ -190,7 +190,10 @@ class MergeProtocol:
             view_id=max(tbm.view_id, own.view_id) + 1,
         )
         alive = set(merged_ring)
-        for msg in merged.messages:
+        messages = merged.messages
+        for i, msg in enumerate(messages):
+            if msg.shared:
+                msg = messages[i] = msg.cow()
             msg.pending &= alive
         self.merges_completed += 1
         return merged

@@ -66,7 +66,7 @@ class DeferredPayload:
         self.factory = factory
 
 
-@dataclass
+@dataclass(slots=True)
 class _Held:
     """A received message buffered locally until it is deliverable in order."""
 
@@ -156,13 +156,18 @@ class MulticastService:
 
     def _receive_pass(self, token: Token) -> None:
         me = self.node.node_id
-        for msg in token.messages:
+        messages = token.messages
+        for i, msg in enumerate(messages):
             if me not in msg.pending:
                 # Not (or no longer) addressed to us this phase; but a SAFE
                 # message we already hold may have become confirmed.
                 if msg.confirmed:
                     self._mark_confirmed(msg.uid)
                 continue
+            # About to take our receipt step: un-alias any local-copy
+            # snapshot before touching the pending set.
+            if msg.shared:
+                msg = messages[i] = msg.cow()
             if msg.confirmed:
                 # SAFE phase 2: everyone has received it; deliverable now.
                 msg.pending.discard(me)
@@ -190,43 +195,56 @@ class MulticastService:
             )
 
     def _retire_pass(self, token: Token) -> None:
+        messages = token.messages
+        if not messages:
+            return
         surviving: list[PiggybackedMessage] = []
-        current = set(token.membership)
-        for msg in token.messages:
+        changed = False
+        current: set[str] | None = None
+        for msg in messages:
             if msg.pending:
                 surviving.append(msg)
                 continue
             if msg.ordering is Ordering.AGREED:
+                changed = True
                 continue  # fully received == fully delivered: retire
             if not msg.confirmed:
                 # SAFE: first round complete — every audience member holds
                 # it.  Confirm and start the delivery round (paper: "the
                 # TOKEN travels one more round").
+                if msg.shared:
+                    msg = msg.cow()
                 msg.confirmed = True
+                if current is None:
+                    current = set(token.membership)
                 msg.pending = set(msg.audience) & current
+                changed = True
                 if msg.pending:
                     surviving.append(msg)
                 # An empty re-armed set means the whole audience is gone or
                 # it was a singleton self-delivery: retire immediately.
                 continue
             # SAFE and confirmed with empty pending: second round done.
-        token.messages = surviving
+            changed = True
+        if not changed:
+            # Nothing retired or confirmed: the token's list (and its wire
+            # cache) are already exactly right — skip the swap.
+            return
+        token.set_messages(surviving)
         # A confirmation produced above must be visible to this node's own
         # hold queue too (it is an audience member like any other).
-        for msg in token.messages:
-            if msg.confirmed:
-                self._mark_confirmed_local_phase2(msg, token)
-
-    def _mark_confirmed_local_phase2(self, msg: PiggybackedMessage, token: Token) -> None:
         me = self.node.node_id
-        if me in msg.pending:
-            # We have not run our phase-2 receipt for this message yet; the
-            # receive pass on a later visit handles it — except when the
-            # confirmation happened *at this very node*, in which case we
-            # take our phase-2 step now so delivery needs exactly one more
-            # round, not two.
-            msg.pending.discard(me)
-            self._mark_confirmed(msg.uid)
+        for i, msg in enumerate(surviving):
+            if msg.confirmed and me in msg.pending:
+                # We have not run our phase-2 receipt for this message yet;
+                # the receive pass on a later visit handles it — except when
+                # the confirmation happened *at this very node*, in which
+                # case we take our phase-2 step now so delivery needs
+                # exactly one more round, not two.
+                if msg.shared:
+                    msg = surviving[i] = msg.cow()
+                msg.pending.discard(me)
+                self._mark_confirmed(msg.uid)
 
     def _attach_pass(self, token: Token) -> None:
         me = self.node.node_id
@@ -250,7 +268,7 @@ class MulticastService:
                 msg.size = size
             msg.audience = frozenset(members)
             msg.pending = set(members) - {me}
-            token.messages.append(msg)
+            token.attach_message(msg)
             # The originator receives its own message at attach time; this
             # keeps local delivery order identical to token order.
             self._remember(msg.uid)

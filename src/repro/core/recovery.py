@@ -176,7 +176,8 @@ class RecoveryProtocol:
 
     def _abort_round(self) -> None:
         self._active_round = None
-        self._awaiting = set()
+        if self._awaiting:
+            self._awaiting = set()
         if self._round_timer is not None:
             self._round_timer.cancel()
             self._round_timer = None

@@ -284,7 +284,9 @@ class RaincoreNode:
         self.listener.on_state_change(old, new)
 
     def _arm_hungry_timer(self, timeout: float | None = None) -> None:
-        self._cancel_timer("_hungry_timer")
+        timer = self._hungry_timer
+        if timer is not None:
+            timer.cancel()
         self._hungry_timer = self.loop.call_later(
             timeout if timeout is not None else self.config.hungry_timeout,
             self._on_hungry_timeout,
@@ -374,7 +376,10 @@ class RaincoreNode:
         self._last_seen_seq = token.seq
         self._live_token = token
         self.recovery.cancel_timers()
-        self._cancel_timer("_hungry_timer")
+        timer = self._hungry_timer
+        if timer is not None:
+            timer.cancel()
+            self._hungry_timer = None
         self._transition(NodeState.EATING)
 
         if self.merge.holding_tbm:
@@ -417,7 +422,9 @@ class RaincoreNode:
         # Hold the token for the hop interval, then forward (paper §2.2:
         # "passed at a regular time interval").  The hold belongs to the
         # arrival wakeup — no extra task switch is charged.
-        self._cancel_timer("_forward_timer")
+        timer = self._forward_timer
+        if timer is not None:
+            timer.cancel()
         self._forward_timer = self.loop.call_later(
             self.config.hop_interval, self._forward_token, self._epoch
         )
@@ -450,15 +457,16 @@ class RaincoreNode:
         if target == self.node_id:
             # Singleton ring: the token "circulates" on this node alone.
             token.seq += 1
-            self._local_copy = token.copy()
+            self._local_copy = token.snapshot()
             self._live_token = None
             self._transition(NodeState.HUNGRY)
             self._arm_hungry_timer()
-            self.loop.call_later(0.0, self._accept_token, self._local_copy.copy())
+            self.loop.call_later(0.0, self._accept_token, self._local_copy.snapshot())
             return
         token.seq += 1
-        sent = token  # the object travels; our copy is independent
-        self._local_copy = token.copy()
+        sent = token  # the object travels; our copy-on-write snapshot is
+        # independent: the next holder clones any message before mutating it.
+        self._local_copy = token.snapshot()
         self._live_token = None
         self._transition(NodeState.HUNGRY)
         self._arm_hungry_timer()
@@ -483,7 +491,7 @@ class RaincoreNode:
         copy = self._local_copy
         if copy is None:  # pragma: no cover - defensive
             return
-        token = copy.copy()
+        token = copy.snapshot()
         token.remove_member(target)
         # If the failed neighbour was a merge target, the merge is off.
         token.tbm = False

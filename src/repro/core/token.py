@@ -17,6 +17,26 @@ header plus the payload size.  The ``pending`` / ``audience`` sets are
 *implementation bookkeeping* for atomicity tracking (DESIGN.md §6.2) and are
 not counted as wire bytes — the real protocol retires messages when the
 token returns to the originator and carries no such sets.
+
+Hot-path layout
+---------------
+Forwarding the token is the protocol's per-hop critical path, so three
+things that used to be O(group) or O(messages) per hop are cached:
+
+* **Local copies are copy-on-write.**  :meth:`Token.snapshot` marks every
+  attached message *shared* and copies only the list of references — O(M)
+  pointer work instead of reconstructing every message and its pending set.
+  Whoever mutates a shared message first (the next holder's receive pass,
+  a membership removal) clones it via :meth:`PiggybackedMessage.cow` and
+  swaps the clone into its own list, so the snapshot never observes the
+  live token's further travel.  :meth:`Token.copy` remains a full deep copy
+  for the rare repair paths that will mutate the result immediately.
+* **wire_size is incremental.**  The sum of message wire sizes is
+  maintained on attach/retire instead of recomputed per hop; mutate
+  ``messages`` through :meth:`attach_message` / :meth:`set_messages`.
+* **Ring lookups are indexed.**  ``has_member``/``next_after`` consult a
+  member→index map cached per membership tuple (identity-checked, so plain
+  tuple reassignment invalidates it naturally).
 """
 
 from __future__ import annotations
@@ -53,7 +73,7 @@ class Ordering(enum.Enum):
 _msg_uid = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class PiggybackedMessage:
     """One multicast message riding the token.
 
@@ -80,6 +100,9 @@ class PiggybackedMessage:
         starting the delivery round.
     uid:
         Process-local unique id for tracing and tests; not on the wire.
+    shared:
+        Copy-on-write marker: True while a token snapshot may alias this
+        object.  Mutators must clone (:meth:`cow`) before writing.
     """
 
     origin: str
@@ -91,6 +114,7 @@ class PiggybackedMessage:
     pending: set[str] = field(default_factory=set)
     confirmed: bool = False
     uid: int = field(default_factory=lambda: next(_msg_uid))
+    shared: bool = field(default=False, repr=False, compare=False)
 
     def wire_size(self) -> int:
         return MSG_HEADER + self.size
@@ -99,8 +123,30 @@ class PiggybackedMessage:
         """Stable multicast identity ``(origin, msg_no)``."""
         return (self.origin, self.msg_no)
 
+    def cow(self) -> "PiggybackedMessage":
+        """Return a privately mutable version of this message.
 
-@dataclass
+        Identity (``uid``) and immutable fields are carried over; the
+        ``pending`` set is duplicated because it is the per-hop mutable
+        state.  Returns ``self`` unchanged when no snapshot aliases it.
+        """
+        if not self.shared:
+            return self
+        clone = PiggybackedMessage.__new__(PiggybackedMessage)
+        clone.origin = self.origin
+        clone.msg_no = self.msg_no
+        clone.payload = self.payload
+        clone.size = self.size
+        clone.ordering = self.ordering
+        clone.audience = self.audience
+        clone.pending = set(self.pending)
+        clone.confirmed = self.confirmed
+        clone.uid = self.uid
+        clone.shared = False
+        return clone
+
+
+@dataclass(slots=True)
 class Token:
     """The unique circulating TOKEN of one Raincore group.
 
@@ -115,6 +161,25 @@ class Token:
     messages: list[PiggybackedMessage] = field(default_factory=list)
     tbm: bool = False
     view_id: int = 0  #: bumped on every membership change, for listeners
+    #: Cached sum of message wire sizes (maintained incrementally).  The
+    #: cache is tagged with the list object and length it was computed for,
+    #: so direct ``token.messages`` mutation (tests, adversarial injection)
+    #: degrades to a lazy recompute instead of a stale answer.
+    _msgs_wire: int = field(default=0, init=False, repr=False, compare=False)
+    _wire_list: list = field(default=None, init=False, repr=False, compare=False)
+    _wire_n: int = field(default=-1, init=False, repr=False, compare=False)
+    #: Member → ring index map, valid only for the tuple it was built from.
+    _ring_index: dict = field(default=None, init=False, repr=False, compare=False)
+    _ring_for: tuple = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._refresh_wire_cache()
+
+    def _refresh_wire_cache(self) -> None:
+        messages = self.messages
+        self._msgs_wire = sum(m.wire_size() for m in messages)
+        self._wire_list = messages
+        self._wire_n = len(messages)
 
     @property
     def group_id(self) -> str:
@@ -124,6 +189,17 @@ class Token:
         return min(self.membership)
 
     def wire_size(self) -> int:
+        messages = self.messages
+        if messages is not self._wire_list or len(messages) != self._wire_n:
+            self._refresh_wire_cache()
+        return (
+            TOKEN_HEADER
+            + MEMBER_ENTRY * len(self.membership)
+            + self._msgs_wire
+        )
+
+    def recompute_wire_size(self) -> int:
+        """Ground truth for the incremental cache (tests, debugging)."""
         return (
             TOKEN_HEADER
             + MEMBER_ENTRY * len(self.membership)
@@ -131,25 +207,53 @@ class Token:
         )
 
     # ------------------------------------------------------------------
+    # message editing (keeps the wire-size cache honest)
+    # ------------------------------------------------------------------
+    def attach_message(self, msg: PiggybackedMessage) -> None:
+        """Append one piggybacked message (the only growth path)."""
+        messages = self.messages
+        if messages is not self._wire_list or len(messages) != self._wire_n:
+            self._refresh_wire_cache()
+        messages.append(msg)
+        self._msgs_wire += msg.wire_size()
+        self._wire_n += 1
+
+    def set_messages(self, messages: list[PiggybackedMessage]) -> None:
+        """Replace the message list wholesale (the retire pass)."""
+        self.messages = messages
+        self._refresh_wire_cache()
+
+    # ------------------------------------------------------------------
     # membership editing (ring order preserved)
     # ------------------------------------------------------------------
+    def _index(self) -> dict:
+        ring = self.membership
+        if self._ring_for is not ring:
+            self._ring_index = {m: i for i, m in enumerate(ring)}
+            self._ring_for = ring
+        return self._ring_index
+
     def has_member(self, node_id: str) -> bool:
-        return node_id in self.membership
+        return node_id in self._index()
 
     def next_after(self, node_id: str) -> str:
         """Ring successor of ``node_id``."""
         ring = self.membership
-        idx = ring.index(node_id)
+        idx = self._index()[node_id]
         return ring[(idx + 1) % len(ring)]
 
     def remove_member(self, node_id: str) -> None:
         """Remove a (failed) member and prune it from all pending sets."""
-        if node_id not in self.membership:
+        if node_id not in self._index():
             return
         self.membership = tuple(m for m in self.membership if m != node_id)
         self.view_id += 1
-        for msg in self.messages:
-            msg.pending.discard(node_id)
+        messages = self.messages
+        for i, msg in enumerate(messages):
+            if node_id in msg.pending:
+                if msg.shared:
+                    msg = messages[i] = msg.cow()
+                msg.pending.discard(node_id)
 
     def insert_after(self, anchor: str, node_id: str) -> None:
         """Insert a joiner immediately after ``anchor`` in the ring.
@@ -157,21 +261,54 @@ class Token:
         This placement is what makes a broken link "naturally bypassed in
         the new ring" in the paper's ABCD → ACD → ACBD example (§2.3).
         """
-        if node_id in self.membership:
+        index = self._index()
+        if node_id in index:
             return
-        if anchor not in self.membership:
+        if anchor not in index:
             raise ValueError(f"anchor {anchor!r} not in membership")
         ring = list(self.membership)
-        ring.insert(ring.index(anchor) + 1, node_id)
+        ring.insert(index[anchor] + 1, node_id)
         self.membership = tuple(ring)
         self.view_id += 1
+
+    # ------------------------------------------------------------------
+    # copying
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Token":
+        """Cheap copy-on-write local copy for the per-hop forward path.
+
+        Shares the message objects with the live token and marks them
+        ``shared``; the next holder's receive/retire passes (and
+        :meth:`remove_member`) clone a message before mutating it, so this
+        snapshot stays exactly what was sent.  The message *list* is
+        copied, making appends/retires on the live token invisible here.
+        """
+        if self.messages is not self._wire_list or len(self.messages) != self._wire_n:
+            self._refresh_wire_cache()
+        for m in self.messages:
+            m.shared = True
+        messages = list(self.messages)
+        token = Token.__new__(Token)
+        token.seq = self.seq
+        token.membership = self.membership
+        token.messages = messages
+        token.tbm = self.tbm
+        token.view_id = self.view_id
+        token._msgs_wire = self._msgs_wire
+        token._wire_list = messages
+        token._wire_n = len(messages)
+        token._ring_index = None
+        token._ring_for = None
+        return token
 
     def copy(self) -> "Token":
         """Deep-enough copy for a node's local TOKEN copy (paper §2.3).
 
         Message payloads are shared (immutable by convention); pending sets
         and the message list are copied so the local copy is unaffected by
-        the live token's further travel.
+        the live token's further travel.  Kept for the repair paths that
+        mutate the result in place; the hot forward path uses
+        :meth:`snapshot`.
         """
         return Token(
             seq=self.seq,

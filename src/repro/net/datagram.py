@@ -91,6 +91,14 @@ class DatagramNetwork:
         self.filter: Callable[[Datagram], bool] | None = None
         self._filters: dict[int, Callable[[Datagram], bool]] = {}
         self._filter_ids = 0
+        # (src, dst) -> (topology.version, sender stats, deliverable, segment,
+        # receiver stats).  Reachability and the shared-segment scan are pure
+        # functions of the topology, which bumps ``version`` on every mutation
+        # that can change them; a version mismatch rebuilds the entry.  The
+        # segment object itself is live — per-packet adversity knobs (loss,
+        # burst, spikes, duplication) are read from it on every send, so fault
+        # injectors that tweak those fields in place need no invalidation.
+        self._routes: dict[tuple[str, str], tuple] = {}
 
     # ------------------------------------------------------------------
     # selective drop filters
@@ -116,6 +124,8 @@ class DatagramNetwork:
         self.filter = None
 
     def _filtered_out(self, packet: Datagram) -> bool:
+        if self.filter is None and not self._filters:
+            return False
         if self.filter is not None and not self.filter(packet):
             return True
         return any(not pred(packet) for pred in self._filters.values())
@@ -135,47 +145,71 @@ class DatagramNetwork:
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
+    def _route(self, src: str, dst: str) -> tuple:
+        """(Re)build the cached route entry for an address pair."""
+        topology = self.topology
+        # owner_of raises KeyError for an unknown source, as send always did.
+        sender_stats = self.stats.for_node(topology.owner_of(src))
+        deliverable = topology.can_deliver(src, dst)
+        if deliverable:
+            seg = topology.path_params(src, dst)
+            receiver_stats = self.stats.for_node(topology.owner_of(dst))
+        else:
+            seg = None
+            receiver_stats = None
+        entry = (topology.version, sender_stats, deliverable, seg, receiver_stats)
+        self._routes[(src, dst)] = entry
+        return entry
+
     def send(self, src: str, dst: str, payload: Any, size: int) -> None:
         """Best-effort unicast of ``payload`` from ``src`` to ``dst`` NICs.
 
         Dropped silently (as UDP would) when the path is unavailable or the
         per-packet loss draw fails.  The sender is always charged for the
         packet — the NIC transmitted it regardless of fate.
+
+        The RNG draw sequence is per-packet stable regardless of caching:
+        each adversity knob draws iff it is enabled, in a fixed order
+        (loss, burst, jitter, spike, duplicate, twin jitter), so a benign
+        segment makes no draws at all and seeded traces replay identically.
         """
         if size < 0:
             raise ValueError(f"size must be non-negative, got {size}")
         packet = Datagram(src, dst, payload, size)
-        sender = self.topology.owner_of(src)
-        self.stats.for_node(sender).packet_sent(size)
+        route = self._routes.get((src, dst))
+        if route is None or route[0] != self.topology.version:
+            route = self._route(src, dst)
+        route[1].packet_sent(size)
 
-        if not self.topology.can_deliver(src, dst):
+        if not route[2]:
             self._drop(packet)
             return
         if self._filtered_out(packet):
             self._drop(packet)
             return
-        seg = self.topology.path_params(src, dst)
-        if seg.loss > 0.0 and self.loop.rng.random() < seg.loss:
+        seg = route[3]
+        rng = self.loop.rng
+        if seg.loss > 0.0 and rng.random() < seg.loss:
             self._drop(packet)
             return
-        if seg.burst is not None and seg.burst.sample(self.loop.rng):
+        if seg.burst is not None and seg.burst.sample(rng):
             self._drop(packet)
             return
         delay = seg.latency
         if seg.jitter > 0.0:
-            delay += self.loop.rng.random() * seg.jitter
-        if seg.spike_prob > 0.0 and self.loop.rng.random() < seg.spike_prob:
+            delay += rng.random() * seg.jitter
+        if seg.spike_prob > 0.0 and rng.random() < seg.spike_prob:
             delay += seg.spike_extra
         if self.trace is not None:
             self.trace(packet, True)
         self.loop.call_later(delay, self._deliver, packet)
-        if seg.duplicate > 0.0 and self.loop.rng.random() < seg.duplicate:
+        if seg.duplicate > 0.0 and rng.random() < seg.duplicate:
             # The twin takes an independent (jittered) path, so it may
             # arrive before or after the original — duplication and
             # reordering come as a package, exactly as on a real LAN.
             twin_delay = seg.latency
             if seg.jitter > 0.0:
-                twin_delay += self.loop.rng.random() * seg.jitter
+                twin_delay += rng.random() * seg.jitter
             self.packets_duplicated += 1
             self.loop.call_later(twin_delay, self._deliver, packet)
 
@@ -187,14 +221,17 @@ class DatagramNetwork:
     def _deliver(self, packet: Datagram) -> None:
         # Re-check liveness at arrival time: the destination may have
         # crashed, been unplugged, or been partitioned while in flight.
-        if not self.topology.can_deliver(packet.src, packet.dst):
+        dst = packet.dst
+        route = self._routes.get((packet.src, dst))
+        if route is None or route[0] != self.topology.version:
+            route = self._route(packet.src, dst)
+        if not route[2]:
             self.packets_dropped += 1
             return
-        handler = self._handlers.get(packet.dst)
+        handler = self._handlers.get(dst)
         if handler is None:
             self.packets_dropped += 1
             return
-        receiver = self.topology.owner_of(packet.dst)
-        self.stats.for_node(receiver).packet_received(packet.size)
+        route[4].packet_received(packet.size)
         self.packets_delivered += 1
         handler(packet)

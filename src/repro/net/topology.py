@@ -93,6 +93,9 @@ class Topology:
         self._addr_up: dict[str, bool] = {}  # NIC liveness (cable state)
         self._blocked_pairs: set[frozenset[str]] = set()  # address pairs
         self._partition_groups: dict[str, int] = {}  # node_id -> group index
+        #: Bumped on every mutation that can change reachability; consumers
+        #: (the datagram layer's route cache) invalidate on mismatch.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -101,6 +104,7 @@ class Topology:
         if segment.name in self._segments:
             raise ValueError(f"duplicate segment {segment.name!r}")
         self._segments[segment.name] = segment
+        self.version += 1
         return segment
 
     def add_node(self, node_id: str) -> NodeSite:
@@ -122,6 +126,7 @@ class Topology:
         self._addr_owner[address] = node_id
         self._addr_up[address] = True
         self._segments[segment_name].attached.add(address)
+        self.version += 1
 
     # ------------------------------------------------------------------
     # lookups
@@ -158,12 +163,14 @@ class Topology:
     def set_node_up(self, node_id: str, up: bool) -> None:
         """Crash (``False``) or recover (``True``) a whole node."""
         self._sites[node_id].up = up
+        self.version += 1
 
     def set_nic_up(self, address: str, up: bool) -> None:
         """Unplug / replug one NIC's cable."""
         if address not in self._addr_up:
             raise KeyError(f"unknown address {address!r}")
         self._addr_up[address] = up
+        self.version += 1
 
     def nic_up(self, address: str) -> bool:
         return self._addr_up[address]
@@ -175,9 +182,11 @@ class Topology:
         while both nodes stay reachable through other peers.
         """
         self._blocked_pairs.add(frozenset((addr_a, addr_b)))
+        self.version += 1
 
     def unblock_pair(self, addr_a: str, addr_b: str) -> None:
         self._blocked_pairs.discard(frozenset((addr_a, addr_b)))
+        self.version += 1
 
     def block_node_pair(self, node_a: str, node_b: str) -> None:
         """Block every NIC pair between two nodes."""
@@ -206,10 +215,12 @@ class Topology:
                     raise KeyError(f"unknown node {node_id!r}")
                 assignment[node_id] = idx
         self._partition_groups = assignment
+        self.version += 1
 
     def heal_partition(self) -> None:
         """Remove any partition; blocked pairs are unaffected."""
         self._partition_groups = {}
+        self.version += 1
 
     def clear_link_faults(self) -> None:
         """Heal every link-level fault at once: partitions gone, all
@@ -222,6 +233,7 @@ class Topology:
             self._addr_up[address] = True
         for seg in self._segments.values():
             seg.clear_adversities()
+        self.version += 1
 
     # ------------------------------------------------------------------
     # reachability

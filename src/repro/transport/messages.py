@@ -40,7 +40,19 @@ class WireSized(Protocol):
     def wire_size(self) -> int: ...  # pragma: no cover
 
 
-@dataclass(frozen=True)
+def _payload_size(payload: Any) -> int:
+    # Duck-typed on purpose: ``isinstance`` against a runtime_checkable
+    # Protocol walks the whole method table per call, and payload_size sits
+    # on the per-packet path of every transmission and retransmission.
+    size = getattr(payload, "wire_size", None)
+    if size is not None:
+        return size()
+    if isinstance(payload, (bytes, bytearray, str)):
+        return len(payload)
+    raise TypeError(f"payload {payload!r} has no wire_size() and is not bytes/str")
+
+
+@dataclass(frozen=True, slots=True)
 class DataFrame:
     """A transport DATA frame: one atomic, acknowledged unicast payload."""
 
@@ -50,17 +62,10 @@ class DataFrame:
     payload: Any
 
     def payload_size(self) -> int:
-        payload = self.payload
-        if isinstance(payload, WireSized):
-            return payload.wire_size()
-        if isinstance(payload, (bytes, bytearray, str)):
-            return len(payload)
-        raise TypeError(
-            f"payload {payload!r} has no wire_size() and is not bytes/str"
-        )
+        return _payload_size(self.payload)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckFrame:
     """Acknowledges receipt of DATA frame ``msg_id`` from ``dst_node``."""
 
@@ -69,7 +74,7 @@ class AckFrame:
     msg_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BareFrame:
     """An unacknowledged, fire-and-forget payload (discovery beacons).
 
@@ -83,18 +88,11 @@ class BareFrame:
     payload: Any
 
     def payload_size(self) -> int:
-        payload = self.payload
-        if isinstance(payload, WireSized):
-            return payload.wire_size()
-        if isinstance(payload, (bytes, bytearray, str)):
-            return len(payload)
-        raise TypeError(
-            f"payload {payload!r} has no wire_size() and is not bytes/str"
-        )
+        return _payload_size(self.payload)
 
 
 def frame_size(frame: DataFrame | AckFrame | BareFrame) -> int:
     """Modelled on-the-wire size of a transport frame in bytes."""
-    if isinstance(frame, (DataFrame, BareFrame)):
-        return UDP_IP_HEADER + TRANSPORT_HEADER + frame.payload_size()
-    return UDP_IP_HEADER + TRANSPORT_HEADER
+    if type(frame) is AckFrame:
+        return UDP_IP_HEADER + TRANSPORT_HEADER
+    return UDP_IP_HEADER + TRANSPORT_HEADER + frame.payload_size()

@@ -32,7 +32,14 @@ from repro.net.datagram import Datagram, DatagramNetwork
 from repro.net.eventloop import EventLoop, TimerHandle
 from repro.net.stats import NodeStats
 from repro.net.topology import Topology
-from repro.transport.messages import AckFrame, BareFrame, DataFrame, frame_size
+from repro.transport.messages import (
+    TRANSPORT_HEADER,
+    UDP_IP_HEADER,
+    AckFrame,
+    BareFrame,
+    DataFrame,
+    frame_size,
+)
 from repro.transport.multipath import AddressPlan, SendStrategy, plan_routes
 
 __all__ = ["TransportConfig", "ReliableUnicast", "ReceiveHandler", "ResultHandler"]
@@ -41,6 +48,9 @@ __all__ = ["TransportConfig", "ReliableUnicast", "ReceiveHandler", "ResultHandle
 ReceiveHandler = Callable[[str, Any], None]
 #: Delivery outcome callback: True = acked, False = failure-on-delivery.
 ResultHandler = Callable[[bool], None]
+
+#: ACK frames carry no payload, so their wire size is a constant.
+_ACK_SIZE = UDP_IP_HEADER + TRANSPORT_HEADER
 
 
 @dataclass
@@ -75,7 +85,7 @@ class TransportConfig:
         return self.retx_timeout * self.attempts_per_route
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingSend:
     """Book-keeping for one in-flight acknowledged unicast."""
 
@@ -115,6 +125,23 @@ class ReliableUnicast:
         # Duplicate suppression: peer -> (set of ids, FIFO of ids).
         self._seen: dict[str, tuple[set[int], deque[int]]] = {}
         self._running = False
+        # Address plans are pure functions of the static topology (NIC
+        # attachments), which bumps ``version`` whenever they change; cache
+        # one plan per peer and flush on any topology mutation.
+        self._plans: dict[str, AddressPlan] = {}
+        self._plans_version = -1
+
+    def _plan_for(self, dst_node: str) -> AddressPlan:
+        version = self.topology.version
+        if version != self._plans_version:
+            self._plans.clear()
+            self._plans_version = version
+        plan = self._plans.get(dst_node)
+        if plan is None:
+            plan = self._plans[dst_node] = plan_routes(
+                self.topology, self.node_id, dst_node
+            )
+        return plan
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -163,7 +190,7 @@ class ReliableUnicast:
             raise ValueError("transport does not loop back to self")
         msg_id = next(self._msg_ids)
         frame = DataFrame(self.node_id, dst_node, msg_id, payload)
-        plan = plan_routes(self.topology, self.node_id, dst_node)
+        plan = self._plan_for(dst_node)
         pending = _PendingSend(frame=frame, plan=plan, on_result=on_result)
         self._pending[msg_id] = pending
         if not plan:
@@ -181,7 +208,7 @@ class ReliableUnicast:
         """
         if not self._running:
             raise RuntimeError(f"transport on {self.node_id!r} is not started")
-        plan = plan_routes(self.topology, self.node_id, dst_node)
+        plan = self._plan_for(dst_node)
         if not plan:
             return
         frame = BareFrame(self.node_id, dst_node, payload)
@@ -204,6 +231,9 @@ class ReliableUnicast:
     # ------------------------------------------------------------------
     def _transmit(self, pending: _PendingSend) -> None:
         frame = pending.frame
+        # Recomputed per transmission on purpose: the payload may be the
+        # live token object, whose wire size can change between the first
+        # send and a retransmission (the model serializes at transmit time).
         size = frame_size(frame)
         cfg = self.config
         if cfg.strategy is SendStrategy.PARALLEL:
@@ -279,7 +309,7 @@ class ReliableUnicast:
             return
         # Always (re-)ack on the reverse path: the original ack may be lost.
         ack = AckFrame(self.node_id, frame.src_node, frame.msg_id)
-        self.network.send(packet.dst, packet.src, ack, frame_size(ack))
+        self.network.send(packet.dst, packet.src, ack, _ACK_SIZE)
         if self._is_duplicate(frame.src_node, frame.msg_id):
             return
         if self._receiver is not None:

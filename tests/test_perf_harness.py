@@ -1,0 +1,73 @@
+"""Smoke tests for the perf-regression harness (:mod:`repro.perf`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro import perf
+from repro.cli import main
+
+
+def test_run_suite_quick_reports_all_metrics():
+    report = perf.run_suite(quick=True, repeats=1)
+    metrics = report["metrics"]
+    assert set(metrics) == {
+        "event_loop_events_per_sec",
+        "loaded_ring_events_per_sec",
+        "token_hops_per_sec",
+        "wall_clock_per_sim_second",
+    }
+    assert all(v > 0 for v in metrics.values())
+    assert report["quick"] is True
+    assert report["workload"]["ring_nodes"] == 8
+
+
+def test_compare_passes_identical_reports():
+    metrics = {
+        "event_loop_events_per_sec": 1000,
+        "loaded_ring_events_per_sec": 100,
+        "wall_clock_per_sim_second": 0.01,
+    }
+    assert perf.compare({"metrics": metrics}, {"metrics": dict(metrics)}, 0.30) == []
+
+
+def test_compare_flags_rate_and_latency_regressions():
+    base = {
+        "event_loop_events_per_sec": 1000,
+        "wall_clock_per_sim_second": 0.01,
+    }
+    bad = {
+        "event_loop_events_per_sec": 500,  # 2x slower
+        "wall_clock_per_sim_second": 0.02,  # 2x slower (higher is worse)
+    }
+    problems = perf.compare({"metrics": bad}, {"metrics": base}, 0.30)
+    assert len(problems) == 2
+    # Within tolerance: 25% down on a 30% gate is fine.
+    ok = {"event_loop_events_per_sec": 750, "wall_clock_per_sim_second": 0.012}
+    assert perf.compare({"metrics": ok}, {"metrics": base}, 0.30) == []
+
+
+def test_compare_ignores_unshared_metrics():
+    base = {"event_loop_events_per_sec": 1000, "brand_new_metric": 5}
+    cur = {"event_loop_events_per_sec": 1000}
+    assert perf.compare({"metrics": cur}, {"metrics": base}, 0.30) == []
+
+
+def test_cli_bench_writes_report_and_gates(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "--repeats", "1", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["metrics"]["loaded_ring_events_per_sec"] > 0
+
+    # A sky-high baseline must trip the gate; a tiny one must pass.
+    impossible = tmp_path / "impossible.json"
+    impossible.write_text(
+        json.dumps({"metrics": {"loaded_ring_events_per_sec": 10**12}})
+    )
+    assert (
+        main(["bench", "--quick", "--repeats", "1", "--check", str(impossible)]) == 1
+    )
+    trivial = tmp_path / "trivial.json"
+    trivial.write_text(json.dumps({"metrics": {"loaded_ring_events_per_sec": 1}}))
+    assert main(["bench", "--quick", "--repeats", "1", "--check", str(trivial)]) == 0
+    capsys.readouterr()

@@ -124,3 +124,78 @@ def test_message_uids_unique():
     a = PiggybackedMessage("A", 1, "x", 1)
     b = PiggybackedMessage("A", 1, "x", 1)
     assert a.uid != b.uid
+
+
+# ----------------------------------------------------------------------
+# incremental wire-size cache and copy-on-write snapshots
+# ----------------------------------------------------------------------
+def msg(origin, no, size, **kw):
+    return PiggybackedMessage(origin, no, b"x" * size, size, **kw)
+
+
+def test_incremental_wire_size_tracks_recompute():
+    t = make_token("ABCD")
+    assert t.wire_size() == t.recompute_wire_size()
+    for i in range(5):
+        t.attach_message(msg("A", i + 1, 10 * (i + 1)))
+        assert t.wire_size() == t.recompute_wire_size()
+    # Retire a subset through the wholesale-swap path.
+    t.set_messages(t.messages[::2])
+    assert t.wire_size() == t.recompute_wire_size()
+    t.remove_member("B")
+    assert t.wire_size() == t.recompute_wire_size()
+    t.attach_message(msg("C", 9, 7))
+    assert t.wire_size() == t.recompute_wire_size()
+    t.set_messages([])
+    assert t.wire_size() == t.recompute_wire_size()
+
+
+def test_wire_size_survives_direct_list_mutation():
+    # Tests and adversarial scenarios may bypass attach_message; the cache
+    # must degrade to a recompute, never return a stale value.
+    t = make_token("AB")
+    t.attach_message(msg("A", 1, 8))
+    assert t.wire_size() == t.recompute_wire_size()
+    t.messages.append(msg("B", 1, 100))
+    assert t.wire_size() == t.recompute_wire_size()
+    t.messages = [msg("A", 2, 3)]
+    assert t.wire_size() == t.recompute_wire_size()
+
+
+def test_wire_size_cache_after_snapshot_chain():
+    t = make_token("ABC")
+    t.attach_message(msg("A", 1, 50))
+    s = t.snapshot()
+    s.attach_message(msg("B", 1, 20))
+    assert s.wire_size() == s.recompute_wire_size()
+    assert t.wire_size() == t.recompute_wire_size()
+    s2 = s.snapshot()
+    s2.remove_member("B")
+    assert s2.wire_size() == s2.recompute_wire_size()
+
+
+def test_snapshot_is_copy_on_write_independent():
+    t = make_token("ABC")
+    m = msg("A", 1, 4, pending={"B", "C"})
+    t.attach_message(m)
+    snap = t.snapshot()
+    # Mutating through the live token's COW paths must not leak into the
+    # snapshot: remove_member clones the shared message before writing.
+    t.remove_member("B")
+    assert t.messages[0].pending == {"C"}
+    assert snap.messages[0].pending == {"B", "C"}
+    assert snap.membership == ("A", "B", "C")
+    # Appends to the live token are invisible to the snapshot (copied list).
+    t.attach_message(msg("A", 2, 4))
+    assert len(snap.messages) == 1
+
+
+def test_cow_returns_self_when_unshared():
+    m = msg("A", 1, 4, pending={"B"})
+    assert m.cow() is m
+    m.shared = True
+    clone = m.cow()
+    assert clone is not m
+    assert clone.uid == m.uid
+    assert clone.pending == m.pending and clone.pending is not m.pending
+    assert clone.shared is False
