@@ -12,6 +12,8 @@ Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
 * ``soak`` — randomized churn with invariant checks;
 * ``chaos`` — seeded chaos campaigns: generated fault schedules,
   replayable traces, automatic shrinking of failures;
+* ``lint`` — raincheck static analysis: determinism and protocol
+  invariants checked before any test runs (docs/DETERMINISM.md);
 * ``bench`` — wall-clock throughput of the simulator itself, with
   optional regression gating against a committed baseline.
 
@@ -113,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--print-trace", action="store_true",
         help="print the generated (or replayed) schedule's JSON trace",
     )
+
+    p = sub.add_parser(
+        "lint",
+        help="raincheck: static determinism & protocol-invariant analysis",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
 
     p = sub.add_parser(
         "bench", help="simulator throughput benchmarks and regression gate"
@@ -416,6 +426,12 @@ def cmd_hierarchy(args) -> int:
     return 0 if ok and reach == len(h.machine_ids) else 1
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import cmd_lint as run_lint
+
+    return run_lint(args)
+
+
 def cmd_bench(args) -> int:
     import json
 
@@ -451,6 +467,7 @@ _COMMANDS = {
     "hierarchy": cmd_hierarchy,
     "soak": cmd_soak,
     "chaos": cmd_chaos,
+    "lint": cmd_lint,
     "bench": cmd_bench,
 }
 

@@ -79,7 +79,7 @@ class InvariantMonitor:
         # A crashed node restarts with a fresh seq horizon: forget it while
         # it is down so its rebirth is not misread as a seq regression.
         live_ids = {n.node_id for n in self.cluster.live_nodes()}
-        for stale in set(self._last_seqs) - live_ids:
+        for stale in sorted(set(self._last_seqs) - live_ids):
             del self._last_seqs[stale]
         # Group tokens by the holder's group identity: one token per
         # sub-group is legitimate split-brain; two in one group is not.

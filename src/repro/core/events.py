@@ -11,9 +11,13 @@ throughout the tests and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.states import NodeState
 from repro.core.token import Ordering
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.session import RaincoreNode
 
 __all__ = [
     "SessionListener",
@@ -94,7 +98,7 @@ class CompositeListener(SessionListener):
         for listener in self.listeners:
             listener.on_deliver(delivery)
 
-    def on_state_change(self, old, new) -> None:
+    def on_state_change(self, old: NodeState, new: NodeState) -> None:
         for listener in self.listeners:
             listener.on_state_change(old, new)
 
@@ -103,7 +107,7 @@ class CompositeListener(SessionListener):
             listener.on_shutdown(reason)
 
 
-def ensure_composite(node) -> CompositeListener:
+def ensure_composite(node: "RaincoreNode") -> CompositeListener:
     """Upgrade ``node.listener`` to a :class:`CompositeListener` in place."""
     if isinstance(node.listener, CompositeListener):
         return node.listener

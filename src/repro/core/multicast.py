@@ -31,7 +31,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.events import Delivery
 from repro.core.token import MSG_HEADER, Ordering, PiggybackedMessage, Token
@@ -62,7 +62,7 @@ class DeferredPayload:
 
     __slots__ = ("factory",)
 
-    def __init__(self, factory) -> None:
+    def __init__(self, factory: Callable[[], tuple[object, int]]) -> None:
         self.factory = factory
 
 

@@ -22,11 +22,13 @@ from typing import Any, Callable
 
 from repro.net.datagram import DatagramNetwork
 from repro.net.eventloop import EventLoop
+from repro.transport.messages import session_message
 from repro.transport.reliable import ReliableUnicast, TransportConfig
 
 __all__ = ["OpenGroupMessage", "OpenGroupAck", "OpenGroupClient"]
 
 
+@session_message
 @dataclass(frozen=True)
 class OpenGroupMessage:
     """Envelope an outside node hands to a member for group multicast."""
@@ -41,6 +43,7 @@ class OpenGroupMessage:
         return 24 + self.size
 
 
+@session_message
 @dataclass(frozen=True)
 class OpenGroupAck:
     """The contact member accepted (and multicast) the client's message."""

@@ -35,7 +35,7 @@ switches per second for a token doing L roundtrips per second.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.core.config import RaincoreConfig
 from repro.core.events import SessionListener, ViewChange
@@ -49,7 +49,7 @@ from repro.core.token import Ordering, Token
 from repro.core.opengroup import OpenGroupAck, OpenGroupMessage
 from repro.core.wire import BodyOdor, NineOneOne, NineOneOneReply
 from repro.net.datagram import DatagramNetwork
-from repro.net.eventloop import EventLoop
+from repro.net.eventloop import EventLoop, TimerHandle
 from repro.transport.reliable import ReliableUnicast
 
 __all__ = ["RaincoreNode"]
@@ -101,8 +101,8 @@ class RaincoreNode:
         self._last_seen_seq: int = -1
         self._members: tuple[str, ...] = ()
         self._announced_view: tuple[str, ...] | None = None
-        self._hungry_timer = None
-        self._forward_timer = None
+        self._hungry_timer: TimerHandle | None = None
+        self._forward_timer: TimerHandle | None = None
         self._epoch = 0  # bumped on crash/shutdown to invalidate stale timers
         self._leaving = False
         self._drain_before_leave = False
@@ -265,7 +265,7 @@ class RaincoreNode:
             raise RuntimeError(f"{self.node_id}: node is down")
         self.mutex.run_exclusive(fn)
 
-    def set_eligible(self, node_ids) -> None:
+    def set_eligible(self, node_ids: Iterable[str]) -> None:
         """Configure the Eligible Membership for discovery (paper §2.4)."""
         self.merge.set_eligible(node_ids)
 

@@ -45,6 +45,8 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
+from repro.transport.messages import session_message
+
 __all__ = ["Ordering", "PiggybackedMessage", "Token", "TOKEN_HEADER", "MSG_HEADER"]
 
 #: Modelled fixed header of the token (seq, flags, counts).
@@ -146,6 +148,7 @@ class PiggybackedMessage:
         return clone
 
 
+@session_message
 @dataclass(slots=True)
 class Token:
     """The unique circulating TOKEN of one Raincore group.
@@ -166,11 +169,17 @@ class Token:
     #: so direct ``token.messages`` mutation (tests, adversarial injection)
     #: degrades to a lazy recompute instead of a stale answer.
     _msgs_wire: int = field(default=0, init=False, repr=False, compare=False)
-    _wire_list: list = field(default=None, init=False, repr=False, compare=False)
+    _wire_list: list[PiggybackedMessage] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
     _wire_n: int = field(default=-1, init=False, repr=False, compare=False)
     #: Member → ring index map, valid only for the tuple it was built from.
-    _ring_index: dict = field(default=None, init=False, repr=False, compare=False)
-    _ring_for: tuple = field(default=None, init=False, repr=False, compare=False)
+    _ring_index: dict[str, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _ring_for: tuple[str, ...] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self._refresh_wire_cache()
@@ -226,12 +235,13 @@ class Token:
     # ------------------------------------------------------------------
     # membership editing (ring order preserved)
     # ------------------------------------------------------------------
-    def _index(self) -> dict:
+    def _index(self) -> dict[str, int]:
         ring = self.membership
-        if self._ring_for is not ring:
-            self._ring_index = {m: i for i, m in enumerate(ring)}
+        index = self._ring_index
+        if index is None or self._ring_for is not ring:
+            index = self._ring_index = {m: i for i, m in enumerate(ring)}
             self._ring_for = ring
-        return self._ring_index
+        return index
 
     def has_member(self, node_id: str) -> bool:
         return node_id in self._index()

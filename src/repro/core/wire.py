@@ -11,12 +11,15 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.transport.messages import session_message
+
 __all__ = ["NineOneOne", "NineOneOneReply", "ReplyVerdict", "BodyOdor"]
 
 #: Modelled wire sizes (bytes) of the small control messages.
 _CONTROL_SIZE = 32
 
 
+@session_message
 @dataclass(frozen=True)
 class NineOneOne:
     """A 911 message: request to regenerate the token — or to join.
@@ -44,6 +47,7 @@ class ReplyVerdict(enum.Enum):
     JOIN_PENDING = "join_pending"  #: sender is not a member; treated as join
 
 
+@session_message
 @dataclass(frozen=True)
 class NineOneOneReply:
     """Reply to a 911 request."""
@@ -57,6 +61,7 @@ class NineOneOneReply:
         return _CONTROL_SIZE
 
 
+@session_message
 @dataclass(frozen=True)
 class BodyOdor:
     """Discovery beacon (paper §2.4).

@@ -1,0 +1,81 @@
+"""CLI behind ``python -m repro lint`` (see repro/cli.py for the parser).
+
+Exit status: 0 when the tree is clean, 1 when any violation is reported.
+``--strict`` additionally fails on unused suppression pragmas (RC003) —
+this is the mode CI runs.  ``--json`` emits the stable machine format
+documented in docs/DETERMINISM.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.lint.engine import (
+    DEFAULT_EXCLUDES,
+    build_project,
+    format_human,
+    format_json,
+    run,
+)
+from repro.lint.rules import RULES
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on unused suppression pragmas (RC003); CI mode",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="stable machine-readable output, sorted by file/line/rule",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RC1xx,RC2xx",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--include-all",
+        action="store_true",
+        help="descend into default-excluded dirs (lint fixtures, caches)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            scope = f"[{rule.scope}]"
+            print(f"{rule_id}  {scope:<9} {rule.summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = frozenset(part.strip() for part in args.select.split(","))
+        unknown = sorted(select - set(RULES))
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}")
+            return 2
+
+    excludes = frozenset() if args.include_all else DEFAULT_EXCLUDES
+    try:
+        project = build_project(args.paths, excludes=excludes)
+    except FileNotFoundError as exc:
+        print(str(exc))
+        return 2
+    report = run(project, select=select, strict=args.strict)
+    output = format_json(report) if args.json else format_human(report)
+    print(output, end="")
+    return 0 if report.ok else 1

@@ -1,0 +1,244 @@
+"""raincheck engine: file discovery, rule driving, suppression, output.
+
+The engine is deliberately boring: parse every ``.py`` file once with
+:mod:`ast`, hand each file (and then the whole project) to the registered
+rules, apply suppression pragmas, and report what is left in a stable
+order.  Determinism of the *linter's own output* matters — CI diffs JSON
+reports between runs — so violations are sorted by ``(file, line, col,
+rule, message)`` and the JSON form is emitted with sorted keys.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.model import FileContext, LintReport, Project, Violation
+from repro.lint.pragmas import scan_pragmas
+from repro.lint.rules import RULES
+
+__all__ = [
+    "DEFAULT_EXCLUDES",
+    "LintReport",
+    "Violation",
+    "build_project",
+    "format_human",
+    "format_json",
+    "run",
+]
+
+#: Directory names never descended into.  ``lint_fixtures`` holds the test
+#: suite's deliberately-bad snippets; linting them would be self-defeating.
+DEFAULT_EXCLUDES = frozenset(
+    {"__pycache__", ".git", ".hypothesis", "lint_fixtures", "chaos-artifacts"}
+)
+
+
+# ----------------------------------------------------------------------
+# project construction
+# ----------------------------------------------------------------------
+def _iter_py_files(
+    paths: Iterable[str], excludes: frozenset[str]
+) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in excludes)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield Path(dirpath) / name
+
+
+def _display_path(path: Path) -> str:
+    """Stable, diff-friendly path: relative to the CWD when possible."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def build_project(
+    paths: Iterable[str], excludes: frozenset[str] = DEFAULT_EXCLUDES
+) -> Project:
+    """Parse every Python file under ``paths`` into a :class:`Project`.
+
+    Files that fail to parse become RC000 syntax violations rather than
+    aborting the run (CI should report them all at once).
+    """
+    files: list[FileContext] = []
+    broken: list[Violation] = []
+    seen: set[str] = set()
+    for path in _iter_py_files(paths, excludes):
+        display = _display_path(path)
+        if display in seen:
+            continue
+        seen.add(display)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            broken.append(
+                Violation(
+                    display,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    "RC000",
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        pragmas, problems = scan_pragmas(source)
+        files.append(FileContext(display, source, tree, pragmas, problems))
+    return Project(files=files, parse_errors=broken)
+
+
+# ----------------------------------------------------------------------
+# running rules + suppression
+# ----------------------------------------------------------------------
+def _pragma_hygiene(ctx: FileContext) -> Iterator[Violation]:
+    for problem in ctx.pragma_problems:
+        yield Violation(ctx.path, problem.line, 0, "RC001", problem.message)
+    for pragma in ctx.pragmas:
+        unknown = sorted(r for r in pragma.rules if r not in RULES)
+        if unknown:
+            yield Violation(
+                ctx.path,
+                pragma.line,
+                0,
+                "RC001",
+                f"pragma names unknown rule id(s): {', '.join(unknown)}",
+            )
+        if not pragma.reason:
+            yield Violation(
+                ctx.path,
+                pragma.line,
+                0,
+                "RC002",
+                "suppression pragma without a justification "
+                "(append: -- why this is safe); the pragma is inert",
+            )
+
+
+def _suppressed(ctx: FileContext, violation: Violation) -> bool:
+    for pragma in ctx.pragmas:
+        if not pragma.active or violation.rule not in pragma.rules:
+            continue
+        if pragma.kind == "disable-file" or pragma.line == violation.line:
+            pragma.used.add(violation.rule)
+            return True
+    return False
+
+
+def _unused_pragmas(ctx: FileContext) -> Iterator[Violation]:
+    for pragma in ctx.pragmas:
+        if not pragma.active:
+            continue  # already reported as RC002
+        idle = sorted(set(pragma.rules) - pragma.used)
+        if idle:
+            yield Violation(
+                ctx.path,
+                pragma.line,
+                0,
+                "RC003",
+                f"suppression of {', '.join(idle)} matched no violation; "
+                "delete the stale pragma",
+            )
+
+
+def run(
+    project: Project,
+    select: frozenset[str] | None = None,
+    strict: bool = False,
+) -> LintReport:
+    """Run every registered rule (or just ``select``) over ``project``.
+
+    ``strict`` additionally reports RC003 (unused suppressions), which is
+    what keeps every pragma in the tree load-bearing.  RC00x pragma-hygiene
+    findings are never suppressible.
+    """
+    report = LintReport(files_checked=len(project.files))
+    out = report.violations
+    out.extend(project.parse_errors)
+
+    for ctx in project.files:
+        out.extend(_pragma_hygiene(ctx))
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            if rule.scope != "file":
+                continue
+            if select is not None and rule_id not in select:
+                continue
+            for line, col, message in rule.func(ctx):
+                violation = Violation(ctx.path, line, col, rule_id, message)
+                if not _suppressed(ctx, violation):
+                    out.append(violation)
+
+    by_path = {ctx.path: ctx for ctx in project.files}
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        if rule.scope != "project":
+            continue
+        if select is not None and rule_id not in select:
+            continue
+        for path, line, col, message in rule.func(project):
+            violation = Violation(path, line, col, rule_id, message)
+            ctx = by_path.get(path)
+            if ctx is None or not _suppressed(ctx, violation):
+                out.append(violation)
+
+    if strict:
+        for ctx in project.files:
+            out.extend(_unused_pragmas(ctx))
+
+    out.sort(key=lambda v: v.sort_key)
+    return report
+
+
+# ----------------------------------------------------------------------
+# output
+# ----------------------------------------------------------------------
+def format_human(report: LintReport) -> str:
+    lines = [v.render() for v in report.violations]
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.ok:
+        lines.append(f"raincheck: {report.files_checked} {noun} clean")
+    else:
+        lines.append(
+            f"raincheck: {len(report.violations)} violation(s) "
+            f"in {report.files_checked} {noun}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def format_json(report: LintReport) -> str:
+    """Stable machine output (documented in docs/DETERMINISM.md §JSON).
+
+    Violations are sorted by (file, line, col, rule, message) and keys are
+    emitted alphabetically, so two runs over identical trees produce
+    byte-identical reports that diff cleanly in CI artifacts.
+    """
+    payload = {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "violations": [
+            {
+                "file": v.file,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

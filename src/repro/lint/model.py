@@ -1,0 +1,117 @@
+"""Shared datatypes of the raincheck linter.
+
+Kept free of imports from :mod:`repro.lint.engine` / :mod:`repro.lint.rules`
+so the engine (driver) and the rules (checks) can both depend on these
+without a cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.pragmas import Pragma, PragmaProblem
+
+__all__ = ["Violation", "LintReport", "FileContext", "Project"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location (col is 0-based)."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str, str]:
+        return (self.file, self.line, self.col, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class FileContext:
+    """One parsed source file as the rules see it.
+
+    ``path`` is the display path (POSIX separators, relative to the CWD
+    when possible) — rules that scope by location match on substrings like
+    ``repro/net/``, which works for the real tree (``src/repro/net/...``)
+    and for the test fixtures' miniature project layouts alike.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    pragmas: list[Pragma]
+    pragma_problems: list[PragmaProblem]
+    _imports: dict[str, str] | None = field(default=None, repr=False)
+
+    def imports(self) -> dict[str, str]:
+        """Local name → dotted origin, from this file's import statements.
+
+        ``import time as t`` maps ``t -> time``; ``from datetime import
+        datetime`` maps ``datetime -> datetime.datetime``.  Used to resolve
+        call targets to canonical dotted names regardless of aliasing.
+        """
+        if self._imports is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name if alias.asname else alias.name.split(".")[0]
+                        )
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    if node.level:  # relative import: not a stdlib target
+                        continue
+                    for alias in node.names:
+                        table[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+            self._imports = table
+        return self._imports
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, or ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports().get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def in_dir(self, *fragments: str) -> bool:
+        """True if this file lives under any ``repro/<sub>/`` fragment."""
+        probe = "/" + self.path
+        return any(f"/{frag}" in probe for frag in fragments)
+
+    def is_module(self, *suffixes: str) -> bool:
+        """True if this file *is* one of the named modules (path suffix)."""
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+
+@dataclass
+class Project:
+    """All files of one lint run, for cross-file (project-scope) rules."""
+
+    files: list[FileContext]
+    parse_errors: list[Violation] = field(default_factory=list)

@@ -1,0 +1,99 @@
+"""Suppression pragmas for raincheck.
+
+Grammar (one comment per pragma; the reason is mandatory)::
+
+    # raincheck: disable=RC101 -- reason text
+    # raincheck: disable=RC101,RC105 -- reason text
+    # raincheck: disable-file=RC204 -- reason text
+
+``disable`` suppresses matching violations reported on the same physical
+line (put it on the *first* line of a multi-line statement).
+``disable-file`` suppresses matching violations anywhere in the file and is
+conventionally placed near the top.
+
+Pragma hygiene is itself linted and never suppressible:
+
+* RC001 — malformed pragma or unknown rule id (the pragma suppresses
+  nothing until fixed);
+* RC002 — pragma without a ``-- reason`` (likewise inert);
+* RC003 — pragma (or one rule id of it) that suppressed nothing
+  (reported under ``--strict``, keeping every pragma load-bearing).
+
+Comments are found with :mod:`tokenize`, so pragma-shaped text inside
+string literals is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Pragma", "PragmaProblem", "scan_pragmas"]
+
+_PRAGMA_RE = re.compile(r"#\s*raincheck\s*:\s*(?P<body>.*)$")
+_DIRECTIVE_RE = re.compile(
+    r"^(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    kind: str  #: "disable" (same line) or "disable-file" (whole file)
+    rules: tuple[str, ...]
+    reason: str
+    #: Rule ids that actually suppressed at least one violation.
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def active(self) -> bool:
+        """Inert pragmas (no reason) suppress nothing — RC002 enforces this."""
+        return bool(self.reason)
+
+
+@dataclass(frozen=True)
+class PragmaProblem:
+    """A malformed pragma, surfaced by the engine as RC001."""
+
+    line: int
+    message: str
+
+
+def scan_pragmas(source: str) -> tuple[list[Pragma], list[PragmaProblem]]:
+    """Extract all raincheck pragmas (and syntax problems) from ``source``."""
+    pragmas: list[Pragma] = []
+    problems: list[PragmaProblem] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas, problems  # unparsable files are reported elsewhere
+    for tok in tokens:
+        if tok.type is not tokenize.COMMENT:
+            continue
+        head = _PRAGMA_RE.search(tok.string)
+        if head is None:
+            continue
+        line = tok.start[0]
+        body = head.group("body").strip()
+        directive = _DIRECTIVE_RE.match(body)
+        if directive is None:
+            problems.append(
+                PragmaProblem(
+                    line,
+                    "malformed raincheck pragma "
+                    "(expected: # raincheck: disable=RCnnn -- reason)",
+                )
+            )
+            continue
+        rules = tuple(
+            part.strip() for part in directive.group("rules").split(",")
+        )
+        reason = directive.group("reason") or ""
+        pragmas.append(Pragma(line, directive.group("kind"), rules, reason))
+    return pragmas, problems

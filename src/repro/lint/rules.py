@@ -1,0 +1,466 @@
+"""The raincheck rule catalogue.
+
+Three families (full prose in docs/DETERMINISM.md):
+
+* **RC1xx determinism** — the replay contract: no wall clock, no ambient
+  entropy, all randomness via an explicitly seeded ``random.Random``, no
+  iteration over unordered sets.
+* **RC2xx protocol** — structural invariants of the session service:
+  exhaustive dispatch of registered session messages, scheduling/socket
+  primitives contained to ``repro.net``/``repro.runtime``, no poking at
+  ``EventLoop`` internals from protocol code.
+* **RC3xx hot-path hygiene** — per-packet/per-hop dataclasses carry
+  ``__slots__``; no ``copy.deepcopy`` on the token/datagram hot path.
+
+RC0xx are meta findings emitted by the engine itself (parse failures and
+pragma hygiene); they are registered here so ``--list-rules`` and pragma
+validation know about them, but they have no checker function and are
+never suppressible.
+
+Rules are generators: file-scope rules take a :class:`FileContext` and
+yield ``(line, col, message)``; project-scope rules take a
+:class:`Project` and yield ``(path, line, col, message)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.lint.model import FileContext, Project
+
+__all__ = ["Rule", "RULES", "rule", "FileContext", "Project"]
+
+FileFinding = tuple[int, int, str]
+ProjectFinding = tuple[str, int, int, str]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: id, one-line summary, scope, checker."""
+
+    id: str
+    summary: str
+    scope: str  #: "file" | "project" | "meta"
+    func: Callable
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str, scope: str = "file"):
+    """Register a checker under ``rule_id`` (decorator)."""
+
+    def deco(fn: Callable) -> Callable:
+        RULES[rule_id] = Rule(rule_id, summary, scope, fn)
+        return fn
+
+    return deco
+
+
+def _meta(rule_id: str, summary: str) -> None:
+    RULES[rule_id] = Rule(rule_id, summary, "meta", lambda _: ())
+
+
+_meta("RC000", "file does not parse")
+_meta("RC001", "malformed pragma or unknown rule id")
+_meta("RC002", "suppression pragma without a justification")
+_meta("RC003", "suppression pragma that suppressed nothing (strict)")
+
+
+# ----------------------------------------------------------------------
+# RC1xx — determinism
+# ----------------------------------------------------------------------
+#: Wall-clock reads.  Only repro/perf.py (the wall-clock benchmark harness,
+#: whose entire purpose is measuring real elapsed time) may use these.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+_CLOCK_ALLOWED_MODULES = ("repro/perf.py",)
+
+#: Ambient entropy: different on every run, ruinous to replay.  Note that
+#: uuid3/uuid5 (name-based, deterministic in their inputs) are allowed.
+_ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+
+@rule("RC101", "wall-clock read outside repro/perf.py")
+def check_wall_clock(ctx: FileContext) -> Iterator[FileFinding]:
+    if ctx.is_module(*_CLOCK_ALLOWED_MODULES):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = ctx.resolve(node.func)
+            if name in _WALL_CLOCK:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock call {name}() breaks replay determinism; "
+                    "use EventLoop virtual time (loop.now) — real-time "
+                    "measurement belongs in repro/perf.py",
+                )
+
+
+@rule("RC102", "ambient entropy source (urandom/uuid4/secrets/...)")
+def check_entropy(ctx: FileContext) -> Iterator[FileFinding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = ctx.resolve(node.func)
+            if name in _ENTROPY:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() draws ambient entropy; all randomness must "
+                    "come from a seeded random.Random (EventLoop.rng)",
+                )
+
+
+@rule("RC103", "module-level random.* call (unseeded global RNG)")
+def check_module_random(ctx: FileContext) -> Iterator[FileFinding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name not in ("Random",):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"from random import {alias.name} binds the global "
+                        "(process-seeded) RNG; import random.Random and "
+                        "seed it explicitly",
+                    )
+        elif isinstance(node, ast.Call):
+            name = ctx.resolve(node.func)
+            if (
+                name is not None
+                and name.startswith("random.")
+                and name not in ("random.Random", "random.SystemRandom")
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() uses the global RNG whose state is shared "
+                    "and process-seeded; draw from a seeded random.Random "
+                    "(in simulation code: EventLoop.rng)",
+                )
+
+
+@rule("RC104", "random.Random() constructed without an explicit seed")
+def check_unseeded_random(ctx: FileContext) -> Iterator[FileFinding]:
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and ctx.resolve(node.func) == "random.Random"
+            and not node.args
+            and not node.keywords
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "random.Random() without a seed is seeded from the OS; "
+                "pass an explicit seed so runs replay",
+            )
+
+
+def _is_unordered(node: ast.AST, ctx: FileContext) -> bool:
+    """Syntactically-recognizable unordered set expression."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.resolve(node.func) in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_unordered(node.left, ctx) or _is_unordered(node.right, ctx)
+    return False
+
+
+@rule("RC105", "iteration over an unordered set expression")
+def check_set_iteration(ctx: FileContext) -> Iterator[FileFinding]:
+    def finding(node: ast.AST) -> FileFinding:
+        return (
+            node.lineno,
+            node.col_offset,
+            "iterating a set draws on hash order, which varies across "
+            "processes (PYTHONHASHSEED) — wrap in sorted(...) before it "
+            "can feed scheduling or serialization order",
+        )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For) and _is_unordered(node.iter, ctx):
+            yield finding(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in node.generators:
+                if _is_unordered(gen.iter, ctx):
+                    yield finding(gen.iter)
+        elif (
+            isinstance(node, ast.Call)
+            and ctx.resolve(node.func) in ("list", "tuple", "enumerate")
+            and node.args
+            and _is_unordered(node.args[0], ctx)
+        ):
+            yield finding(node)
+
+
+# ----------------------------------------------------------------------
+# RC2xx — protocol invariants
+# ----------------------------------------------------------------------
+def _isinstance_targets(fn: ast.FunctionDef) -> set[str]:
+    """Class names tested with isinstance() anywhere inside ``fn``."""
+    targets: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            second = node.args[1]
+            elts = second.elts if isinstance(second, ast.Tuple) else [second]
+            for elt in elts:
+                if isinstance(elt, ast.Name):
+                    targets.add(elt.id)
+                elif isinstance(elt, ast.Attribute):
+                    targets.add(elt.attr)
+    return targets
+
+
+@rule(
+    "RC201",
+    "registered session message without an isinstance arm in a _receive "
+    "handler",
+    scope="project",
+)
+def check_exhaustive_dispatch(project: Project) -> Iterator[ProjectFinding]:
+    """Every ``@session_message`` class must be dispatched somewhere.
+
+    The registry lives in repro/transport/messages.py; the dispatchers are
+    the functions named ``_receive`` (the conventional transport-delivery
+    callback installed via ``set_receiver``).  A message that is registered
+    but never matched would be silently dropped by every receiver — the
+    session layer tolerates garbage, so this failure mode is invisible at
+    runtime and must be caught statically.
+    """
+    registered: list[tuple[str, str, int, int]] = []
+    handled: set[str] = set()
+    for ctx in project.files:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                for deco in node.decorator_list:
+                    name = ctx.resolve(deco)
+                    if name is not None and name.split(".")[-1] == (
+                        "session_message"
+                    ):
+                        registered.append(
+                            (node.name, ctx.path, node.lineno, node.col_offset)
+                        )
+            elif isinstance(node, ast.FunctionDef) and node.name == "_receive":
+                handled |= _isinstance_targets(node)
+    for cls_name, path, line, col in registered:
+        if cls_name not in handled:
+            yield (
+                path,
+                line,
+                col,
+                f"session message {cls_name} is registered but no _receive "
+                "handler has an isinstance arm for it; it would be dropped "
+                "as garbage at every receiver",
+            )
+
+
+@rule("RC202", "direct heapq use outside repro/net and repro/runtime")
+def check_heapq_containment(ctx: FileContext) -> Iterator[FileFinding]:
+    if ctx.in_dir("repro/net/", "repro/runtime/"):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            names = [a.name for a in node.names if a.name == "heapq"]
+        elif isinstance(node, ast.ImportFrom):
+            names = ["heapq"] if node.module == "heapq" else []
+        else:
+            continue
+        if names:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "event ordering is owned by EventLoop's (time, priority, "
+                "seq) heap; schedule through the loop instead of building "
+                "a private heapq here",
+            )
+
+
+@rule("RC203", "direct socket use outside repro/runtime")
+def check_socket_containment(ctx: FileContext) -> Iterator[FileFinding]:
+    if ctx.in_dir("repro/runtime/"):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            names = [a.name for a in node.names if a.name == "socket"]
+        elif isinstance(node, ast.ImportFrom):
+            names = ["socket"] if node.module == "socket" else []
+        else:
+            continue
+        if names:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "real I/O lives behind repro/runtime; simulation and "
+                "protocol code must stay on the DatagramNetwork model",
+            )
+
+
+#: EventLoop/SimClock internals that only the loop itself may touch.
+_LOOP_PRIVATE_ATTRS = frozenset({"_heap", "_pop_live"})
+
+
+@rule("RC204", "EventLoop/SimClock internals touched outside repro/net")
+def check_loop_internals(ctx: FileContext) -> Iterator[FileFinding]:
+    if ctx.in_dir("repro/net/"):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Attribute) and node.attr in _LOOP_PRIVATE_ATTRS:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"accessing .{node.attr} reaches into the EventLoop's "
+                "private heap; use call_at/call_later/peek_time",
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "advance_to"
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "advance_to() moves the virtual clock out from under the "
+                "event heap; time advances only by running events "
+                "(run_until/run_for/step)",
+            )
+
+
+# ----------------------------------------------------------------------
+# RC3xx — hot-path hygiene
+# ----------------------------------------------------------------------
+#: Modules on the per-packet / per-hop critical path (see PR 2's
+#: benchmarks): every dataclass allocated here rides a hot loop.
+_HOT_PATH_MODULES = (
+    "repro/net/eventloop.py",
+    "repro/net/datagram.py",
+    "repro/net/adversity.py",
+    "repro/core/token.py",
+    "repro/transport/messages.py",
+    "repro/transport/reliable.py",
+)
+
+_SLOTS_EXEMPT_BASES = frozenset(
+    {"Protocol", "Enum", "IntEnum", "StrEnum", "Exception", "NamedTuple"}
+)
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.AST | None:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return deco
+    return None
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    deco = _dataclass_decorator(node)
+    if isinstance(deco, ast.Call):
+        for kw in deco.keywords:
+            if (
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+    return False
+
+
+@rule("RC301", "hot-path dataclass without __slots__")
+def check_hot_path_slots(ctx: FileContext) -> Iterator[FileFinding]:
+    if not ctx.is_module(*_HOT_PATH_MODULES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if any(
+            isinstance(base, ast.Name) and base.id in _SLOTS_EXEMPT_BASES
+            for base in node.bases
+        ):
+            continue
+        if _dataclass_decorator(node) is None:
+            continue
+        if not _declares_slots(node):
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"dataclass {node.name} is allocated on the token/datagram "
+                "hot path; declare @dataclass(slots=True) to drop the "
+                "per-instance __dict__",
+            )
+
+
+@rule("RC302", "copy.deepcopy on the token/datagram hot path")
+def check_hot_path_deepcopy(ctx: FileContext) -> Iterator[FileFinding]:
+    if not ctx.is_module(*_HOT_PATH_MODULES):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "copy":
+            if any(a.name == "deepcopy" for a in node.names):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "deepcopy walks the whole object graph per call; hot "
+                    "paths use copy-on-write (Token.snapshot / "
+                    "PiggybackedMessage.cow) instead",
+                )
+        elif (
+            isinstance(node, ast.Call)
+            and ctx.resolve(node.func) == "copy.deepcopy"
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "deepcopy walks the whole object graph per call; hot "
+                "paths use copy-on-write (Token.snapshot / "
+                "PiggybackedMessage.cow) instead",
+            )

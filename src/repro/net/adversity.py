@@ -34,7 +34,7 @@ from dataclasses import dataclass
 __all__ = ["GilbertElliott"]
 
 
-@dataclass
+@dataclass(slots=True)
 class GilbertElliott:
     """Two-state Markov (Gilbert–Elliott) burst-loss channel.
 

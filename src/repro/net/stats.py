@@ -117,7 +117,7 @@ class StatsRegistry:
             self._stats[node_id] = NodeStats(node_id=node_id)
         return self._stats[node_id]
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[NodeStats]":
         return iter(self._stats.values())
 
     def __len__(self) -> int:

@@ -25,7 +25,27 @@ __all__ = [
     "AckFrame",
     "BareFrame",
     "frame_size",
+    "SESSION_MESSAGES",
+    "session_message",
 ]
+
+#: Registry of top-level session-layer message classes: everything the
+#: transport may hand to a session ``_receive`` dispatcher.  Populated by
+#: the :func:`session_message` decorator; audited statically by raincheck
+#: rule RC201 (every registered class must have an ``isinstance`` arm in a
+#: ``_receive`` handler) — see docs/DETERMINISM.md.
+SESSION_MESSAGES: dict[str, type] = {}
+
+
+def session_message(cls: type) -> type:
+    """Register ``cls`` as a dispatchable session-layer message.
+
+    Nested payloads that only ride *inside* another message (e.g. the
+    token's piggybacked multicasts) are deliberately not registered: they
+    are unpacked by their carrier, not dispatched by the transport.
+    """
+    SESSION_MESSAGES[cls.__name__] = cls
+    return cls
 
 #: Modelled overhead of one UDP/IPv4 datagram (20 IP + 8 UDP bytes).
 UDP_IP_HEADER = 28

@@ -53,7 +53,7 @@ ResultHandler = Callable[[bool], None]
 _ACK_SIZE = UDP_IP_HEADER + TRANSPORT_HEADER
 
 
-@dataclass
+@dataclass(slots=True)
 class TransportConfig:
     """Timing and redundancy knobs for the reliable unicast service.
 

@@ -1,0 +1,15 @@
+"""Fixture: a file raincheck must pass untouched (strict mode included)."""
+
+from random import Random
+
+RNG = Random(1234)
+
+
+def shuffle_ids(ids):
+    ordered = sorted(set(ids))
+    RNG.shuffle(ordered)
+    return ordered
+
+
+def pick(rng, items):
+    return rng.choice(items)

@@ -1,0 +1,11 @@
+"""Fixture: heapq and loop internals are legitimate inside repro/net/."""
+
+import heapq
+
+
+class MiniLoop:
+    def __init__(self):
+        self._heap = []
+
+    def push(self, item):
+        heapq.heappush(self._heap, item)

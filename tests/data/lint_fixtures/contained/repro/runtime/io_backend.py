@@ -1,0 +1,8 @@
+"""Fixture: socket (and heapq) are legitimate inside repro/runtime/."""
+
+import heapq
+import socket
+
+
+def open_udp():
+    return socket.socket(socket.AF_INET, socket.SOCK_DGRAM)

@@ -1,0 +1,18 @@
+"""Fixture registry: two session messages, one never dispatched (RC201)."""
+
+SESSION_MESSAGES = {}
+
+
+def session_message(cls):
+    SESSION_MESSAGES[cls.__name__] = cls
+    return cls
+
+
+@session_message
+class Ping:
+    pass
+
+
+@session_message
+class Orphan:
+    pass

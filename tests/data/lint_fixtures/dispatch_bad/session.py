@@ -1,0 +1,8 @@
+"""Fixture receiver: handles Ping only — Orphan has no isinstance arm."""
+
+
+class Node:
+    def _receive(self, datagram, payload):
+        if isinstance(payload, Ping):  # noqa: F821 — lint-only fixture
+            return payload
+        return None

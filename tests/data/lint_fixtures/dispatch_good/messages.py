@@ -1,0 +1,18 @@
+"""Fixture registry: every registered message has a dispatch arm."""
+
+SESSION_MESSAGES = {}
+
+
+def session_message(cls):
+    SESSION_MESSAGES[cls.__name__] = cls
+    return cls
+
+
+@session_message
+class Ping:
+    pass
+
+
+@session_message
+class Pong:
+    pass

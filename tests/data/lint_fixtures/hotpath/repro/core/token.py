@@ -1,0 +1,31 @@
+"""Fixture: hot-path hygiene (path suffix matches repro/core/token.py)."""
+
+import copy
+from dataclasses import dataclass
+from typing import Protocol
+
+
+@dataclass
+class BadPacket:
+    seq: int
+
+
+@dataclass(slots=True)
+class GoodPacket:
+    seq: int
+
+
+class ManualSlots:
+    __slots__ = ("seq",)
+
+    def __init__(self, seq):
+        self.seq = seq
+
+
+@dataclass
+class ExemptLike(Protocol):
+    seq: int
+
+
+def clone(token):
+    return copy.deepcopy(token)

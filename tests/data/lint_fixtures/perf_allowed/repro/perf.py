@@ -1,0 +1,7 @@
+"""Fixture: wall-clock reads are allowed in repro/perf.py (benchmark harness)."""
+
+import time
+
+
+def wall_elapsed(start):
+    return time.perf_counter() - start

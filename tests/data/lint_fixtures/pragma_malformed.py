@@ -1,0 +1,3 @@
+"""Fixture: RC001 — pragma that does not parse."""
+
+VALUE = 1  # raincheck: disabled=RC101 -- typo in the directive keyword

@@ -1,0 +1,7 @@
+"""Fixture: RC00x hygiene findings must themselves be unsuppressible."""
+
+# raincheck: disable-file=RC002 -- fixture: trying (and failing) to mute hygiene
+
+import time
+
+STAMP = time.time()  # raincheck: disable=RC101

@@ -1,0 +1,5 @@
+"""Fixture: RC002 — a suppression without justification is inert."""
+
+import time
+
+STAMP = time.time()  # raincheck: disable=RC101

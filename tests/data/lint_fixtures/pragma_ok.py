@@ -1,0 +1,5 @@
+"""Fixture: a justified same-line suppression that is load-bearing."""
+
+import time
+
+STAMP = time.time()  # raincheck: disable=RC101 -- fixture: demonstrates a justified suppression

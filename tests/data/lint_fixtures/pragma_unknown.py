@@ -1,0 +1,3 @@
+"""Fixture: RC001 — pragma naming an unknown rule id."""
+
+VALUE = 2  # raincheck: disable=RC999 -- no such rule exists

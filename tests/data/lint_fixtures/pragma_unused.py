@@ -1,0 +1,3 @@
+"""Fixture: RC003 — a pragma that suppresses nothing (strict mode only)."""
+
+VALUE = 3  # raincheck: disable=RC101 -- nothing on this line reads the clock

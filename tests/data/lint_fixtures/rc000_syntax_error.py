@@ -1,0 +1,4 @@
+"""Fixture: RC000 — file does not parse."""
+
+def broken(:
+    pass

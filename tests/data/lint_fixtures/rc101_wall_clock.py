@@ -1,0 +1,17 @@
+"""Fixture: RC101 — wall-clock reads outside repro/perf.py."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def measure():
+    return perf_counter()
+
+
+def today():
+    return datetime.now()

@@ -1,0 +1,21 @@
+"""Fixture: RC102 — ambient entropy sources."""
+
+import os
+import secrets
+import uuid
+
+
+def bad_key():
+    return os.urandom(16)
+
+
+def bad_id():
+    return uuid.uuid4()
+
+
+def bad_token():
+    return secrets.token_hex(8)
+
+
+def good_id(ns, name):
+    return uuid.uuid5(ns, name)  # name-based, deterministic in its inputs

@@ -1,0 +1,14 @@
+"""Fixture: RC103 — global (process-seeded) RNG use."""
+
+import random
+from random import randint
+
+from random import Random  # allowed: the seedable class
+
+
+def draw():
+    return random.random()
+
+
+def pick(rng):
+    return rng.choice([1, 2])  # allowed: method on a bound RNG instance

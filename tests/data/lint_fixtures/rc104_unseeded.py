@@ -1,0 +1,16 @@
+"""Fixture: RC104 — random.Random() constructed without an explicit seed."""
+
+import random
+from random import Random
+
+
+def bad():
+    return Random()
+
+
+def good(seed):
+    return random.Random(seed)
+
+
+def also_good():
+    return Random(x=7)

@@ -1,0 +1,20 @@
+"""Fixture: RC105 — iteration over unordered set expressions."""
+
+
+def bad_for():
+    out = []
+    for x in {"b", "a"}:
+        out.append(x)
+    return out
+
+
+def bad_comp(pending):
+    return [x for x in set(pending)]
+
+
+def bad_call(live, dead):
+    return list(set(live) - set(dead))
+
+
+def good(pending):
+    return [x for x in sorted(set(pending))]

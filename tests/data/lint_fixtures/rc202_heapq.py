@@ -1,0 +1,8 @@
+"""Fixture: RC202 — heapq outside repro/net and repro/runtime."""
+
+import heapq
+
+
+def pop(items):
+    heapq.heapify(items)
+    return heapq.heappop(items)

@@ -1,0 +1,7 @@
+"""Fixture: RC203 — socket outside repro/runtime."""
+
+import socket
+
+
+def dial(host, port):
+    return socket.create_connection((host, port))

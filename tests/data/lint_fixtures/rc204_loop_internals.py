@@ -1,0 +1,9 @@
+"""Fixture: RC204 — EventLoop/SimClock internals touched outside repro/net."""
+
+
+def peek(loop):
+    return loop._heap[0]
+
+
+def skip_ahead(clock):
+    clock.advance_to(5.0)

@@ -137,7 +137,7 @@ def test_queue_items_never_lost_or_duplicated(pushes, pops, seed):
     # The queue is FIFO in the *agreed* (token) order, which need not match
     # wall-clock call order across nodes — but pushes from the same origin
     # attach in submission order, so per-origin FIFO must hold.
-    for origin_idx in set(pushes):
+    for origin_idx in sorted(set(pushes)):
         origin = NODES[origin_idx]
         mine = [i for i, p in enumerate(pushes) if p == origin_idx]
         handed_mine = [item for item in items if item in mine]

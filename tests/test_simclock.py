@@ -1,5 +1,8 @@
 """Unit tests for the virtual clock."""
 
+# raincheck: disable-file=RC204 -- this file unit-tests SimClock.advance_to
+# itself; everywhere else the clock advances only by running events
+
 import pytest
 
 from repro.net.simclock import SimClock
