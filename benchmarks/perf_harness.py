@@ -12,6 +12,14 @@ entry point:
 Writes ``benchmarks/BENCH_simulator.json`` by default; pass ``--out`` to
 redirect, or ``--check BASELINE`` to gate on a committed baseline instead
 of overwriting it (the CI perf-smoke job does exactly that).
+
+Besides the simulator-throughput rates, the suite measures
+``probe_overhead_ratio``: the loaded reference ring with the probe bus and
+flight recorder attached vs the shipped probes-disabled configuration.
+The gate keeps enabled-probe overhead under the bound recorded in
+``BENCH_baseline.json``; disabled probes are a single attribute load plus
+a None test per probe point, so any measurable cost there would already
+trip the ``loaded_ring_events_per_sec`` gate.
 """
 
 from __future__ import annotations

@@ -197,13 +197,18 @@ class VirtualIPManager(SessionListener):
         if vip not in self.vip_pool:
             return
         self.moves += 1
+        probe = self.node.probe
         if op.kind == "set" and op.value == self.node.node_id:
             if vip not in self.installed:
                 self.installed.add(vip)
+                if probe is not None:
+                    probe.emit(self.node.node_id, "app.vip_install", vip)
                 # Claim: refresh every ARP cache on the subnet so traffic
                 # shifts to our (unchanged, unique) MAC address.
                 self.subnet.gratuitous_arp(self.node.loop, vip, self.node.node_id)
         else:
+            if vip in self.installed and probe is not None:
+                probe.emit(self.node.node_id, "app.vip_release", vip)
             self.installed.discard(vip)
 
     def on_shutdown(self, reason: str) -> None:

@@ -23,6 +23,7 @@ through :mod:`repro.metrics`.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Callable
@@ -36,6 +37,13 @@ from repro.core.states import NodeState
 from repro.data import SharedDict
 from repro.metrics import Table
 from repro.metrics.analysis import duplicate_deliveries, prefix_consistency_violations
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    ProbeMetrics,
+    build_bundle,
+    bundle_to_json,
+)
 
 __all__ = ["ChaosEngine", "RunResult", "CampaignResult", "run_campaign"]
 
@@ -49,6 +57,8 @@ class RunResult:
     failure: str | None = None  #: failure kind, e.g. "invariant:seq-monotonicity"
     detail: str = ""
     stats: dict = field(default_factory=dict)
+    #: Diagnostic bundle (repro.obs) built for failing runs; None when ok.
+    bundle: dict | None = None
 
     @property
     def seed(self) -> int:
@@ -77,6 +87,9 @@ class ChaosEngine:
     background_tick:
         Period of the background load: one multicast per tick, one
         replicated write every other tick.
+    recorder_capacity:
+        Flight-recorder ring size per node; the diagnostic bundle built
+        for a failing run carries at most this many recent events/node.
     """
 
     def __init__(
@@ -88,11 +101,13 @@ class ChaosEngine:
         monitor_interval: float = 0.002,
         double_token_allowance: float | None = None,
         background_tick: float = 0.25,
+        recorder_capacity: int = 512,
     ) -> None:
         self.schedule = schedule
         self.quiesce_budget = quiesce_budget
         self.settle = settle
         self.monitor_interval = monitor_interval
+        self.recorder_capacity = recorder_capacity
         params = schedule.params
         self.double_token_allowance = (
             double_token_allowance
@@ -117,11 +132,26 @@ class ChaosEngine:
             config=RaincoreConfig.tuned(ring_size=params.nodes),
         )
         self.cluster = cluster
+        bus = cluster.enable_probes()
+        recorder = FlightRecorder(bus, capacity=self.recorder_capacity)
+        registry = MetricsRegistry()
+        ProbeMetrics(bus, registry)
         dicts = {nid: SharedDict(cluster.node(nid)) for nid in self.ids}
         cluster.start_all(form_time=30.0 + params.nodes)
         monitor = InvariantMonitor(
             cluster, interval=self.monitor_interval, strict=params.strict
         )
+        # Snapshot the rings the moment the *first* violation is flagged —
+        # by the end of quiescence the interesting events would have been
+        # evicted by healthy reconvergence traffic.
+        first_violation: dict = {}
+
+        def on_violation(violation) -> None:
+            if not first_violation:
+                first_violation["at"] = violation.at
+                first_violation["events"] = recorder.snapshot()
+
+        monitor.on_violation = on_violation
         monitor.start()
 
         t0 = cluster.loop.now
@@ -137,12 +167,34 @@ class ChaosEngine:
 
         failure, detail = self._check(converged, monitor, dicts)
         stats = self._stats(monitor)
+        bundle = None
+        if failure is not None:
+            registry.capture_node_stats(cluster.stats)
+            bundle = build_bundle(
+                failure,
+                detail=detail,
+                at=first_violation.get("at", cluster.loop.now),
+                events=first_violation.get("events") or recorder.snapshot(),
+                context={
+                    "seed": params.seed,
+                    "nodes": params.nodes,
+                    "seconds": params.seconds,
+                    "segments": params.segments,
+                    "strict": params.strict,
+                    "ops": len(self.schedule.ops),
+                    "events_seen": recorder.events_seen,
+                },
+                metrics=registry.to_dict(),
+                schedule=json.loads(self.schedule.to_json()),
+            )
+        recorder.close()
         return RunResult(
             schedule=self.schedule,
             ok=failure is None,
             failure=failure,
             detail=detail,
             stats=stats,
+            bundle=bundle,
         )
 
     # ------------------------------------------------------------------
@@ -415,6 +467,14 @@ def run_campaign(
             )
             out.artifacts.append(path)
             say(f"  trace written to {path}")
+            if result.bundle is not None:
+                path = _write_artifact(
+                    artifacts_dir,
+                    f"trace-seed{params.seed}.bundle.json",
+                    bundle_to_json(result.bundle),
+                )
+                out.artifacts.append(path)
+                say(f"  diagnostic bundle written to {path}")
         if shrink:
             say("  shrinking ...")
             minimal, tests = shrink_schedule(
@@ -435,6 +495,18 @@ def run_campaign(
                 )
                 out.artifacts.append(path)
                 say(f"  minimal trace written to {path}")
+                # Re-run the minimal schedule once more for its own bundle:
+                # the shrinker's predicate runs discard results, and the
+                # minimized failure is the one worth reading.
+                min_result = ChaosEngine(minimal, **engine_opts).run()
+                if min_result.bundle is not None:
+                    path = _write_artifact(
+                        artifacts_dir,
+                        f"trace-seed{params.seed}.min.bundle.json",
+                        bundle_to_json(min_result.bundle),
+                    )
+                    out.artifacts.append(path)
+                    say(f"  minimal diagnostic bundle written to {path}")
     return out
 
 

@@ -5,6 +5,8 @@ Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
 * ``info`` — package overview and experiment index;
 * ``quickstart`` — form a group, multicast, crash and rejoin a member;
 * ``trace`` — print a protocol event timeline for a short run;
+* ``obs`` — probe-bus observability: live summary, JSONL export, and
+  diagnostic-bundle rendering (docs/OBSERVABILITY.md);
 * ``scaling`` — the Figure 3 Rainwall throughput sweep;
 * ``failover`` — the §3.2 cable-unplug experiment;
 * ``merge`` — split-brain and TBM merge walk-through;
@@ -59,6 +61,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--swimlanes",
         action="store_true",
         help="render one column per node instead of a flat timeline",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the filtered events as a stable JSON array instead",
+    )
+
+    p = sub.add_parser(
+        "obs",
+        help="probe-bus observability: live summary, JSONL export, bundle render",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "summary",
+        help="run the probed quickstart scenario and summarize its streams",
+    )
+    q.add_argument("--nodes", type=int, default=4)
+    q.add_argument("--seed", type=int, default=2024)
+    q.add_argument("--duration", type=float, default=1.0)
+    q.add_argument(
+        "--no-crash", action="store_true",
+        help="skip the crash/recover phase of the scenario",
+    )
+
+    q = obs_sub.add_parser(
+        "export",
+        help="run the probed quickstart scenario and export JSONL streams",
+    )
+    q.add_argument("--nodes", type=int, default=4)
+    q.add_argument("--seed", type=int, default=2024)
+    q.add_argument("--duration", type=float, default=1.0)
+    q.add_argument(
+        "--no-crash", action="store_true",
+        help="skip the crash/recover phase of the scenario",
+    )
+    q.add_argument(
+        "--metrics", action="store_true",
+        help="export the metrics registry instead of the probe event stream",
+    )
+    q.add_argument(
+        "--out", metavar="FILE.jsonl",
+        help="write the stream here (default: stdout)",
+    )
+
+    q = obs_sub.add_parser(
+        "render",
+        help="render a diagnostic bundle as timeline/swimlanes/causal chain",
+    )
+    q.add_argument("bundle", metavar="BUNDLE.json", help="bundle file to render")
+    q.add_argument("--swimlanes", action="store_true")
+    q.add_argument(
+        "--kinds", default=None,
+        help="comma-separated probe kinds to show (default: all)",
+    )
+    q.add_argument("--node", default=None, help="show only this node's events")
+    q.add_argument("--limit", type=int, default=60)
+    q.add_argument(
+        "--span", metavar="ORIGIN#N",
+        help="render the causal chain of one multicast span instead",
     )
 
     p = sub.add_parser("scaling", help="Figure 3: Rainwall throughput sweep")
@@ -220,12 +282,88 @@ def cmd_trace(args) -> int:
     cluster.node(ids[0]).multicast(b"traced")
     cluster.run(args.duration)
     kinds = set(args.kinds.split(","))
-    if args.swimlanes:
+    if args.json:
+        from repro.metrics.trace import events_to_json
+
+        print(events_to_json(trace.filter(kinds=kinds)))
+    elif args.swimlanes:
         from repro.metrics.trace import render_swimlanes
 
         print(render_swimlanes(trace.filter(kinds=kinds), ids, limit=args.limit))
     else:
         print(trace.render(kinds=kinds, limit=args.limit))
+    return 0
+
+
+def cmd_obs(args) -> int:
+    if args.obs_command == "render":
+        from repro.obs import bundle_events, load_bundle, render_bundle, render_chain
+
+        bundle = load_bundle(args.bundle)
+        if args.span:
+            origin, _, msg_no = args.span.partition("#")
+            print(render_chain(bundle_events(bundle), origin, int(msg_no)))
+            return 0
+        kinds = set(args.kinds.split(",")) if args.kinds else None
+        print(
+            render_bundle(
+                bundle,
+                swimlanes=args.swimlanes,
+                kinds=kinds,
+                node=args.node,
+                limit=args.limit,
+            )
+        )
+        return 0
+
+    from repro.obs.scenario import run_quickstart
+
+    run = run_quickstart(
+        nodes=args.nodes,
+        seed=args.seed,
+        duration=args.duration,
+        crash=not args.no_crash,
+    )
+    if args.obs_command == "export":
+        from repro.obs import events_to_jsonl
+
+        text = (
+            run.registry.to_jsonl()
+            if args.metrics
+            else events_to_jsonl(run.events)
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"{'metrics' if args.metrics else 'events'} written to {args.out}")
+        else:
+            print(text)
+        return 0
+
+    # summary
+    by_kind: dict[str, int] = {}
+    by_node: dict[str, int] = {}
+    for e in run.events:
+        by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+        by_node[e.node] = by_node.get(e.node, 0) + 1
+    print(
+        f"quickstart scenario: nodes={args.nodes} seed={args.seed} "
+        f"duration={args.duration:g} (virtual {run.cluster.loop.now:.3f}s)"
+    )
+    print(f"probe events: {run.bus.events_emitted}")
+    print("by node: " + "  ".join(f"{n}={c}" for n, c in sorted(by_node.items())))
+    print("by kind:")
+    for kind, count in sorted(by_kind.items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {kind:<20} {count}")
+    print("token inter-arrival (per node):")
+    histograms = run.registry.to_dict()["histograms"]
+    for node in sorted(histograms):
+        s = histograms[node].get("token.interarrival")
+        if s:
+            print(
+                f"  {node}: n={s['count']} mean={s['mean'] * 1e3:.2f}ms "
+                f"p95={s.get('p95', 0.0) * 1e3:.2f}ms"
+            )
     return 0
 
 
@@ -353,6 +491,19 @@ def cmd_chaos(args) -> int:
             print(f"clean ({result.stats['deliveries']} deliveries)")
             return 0
         print(f"FAILED [{result.failure}] {result.detail}")
+        if result.bundle is not None:
+            import os
+
+            from repro.obs import dump_bundle
+
+            path = dump_bundle(
+                result.bundle,
+                os.path.join(
+                    args.artifacts, f"replay-seed{params.seed}.bundle.json"
+                ),
+            )
+            print(f"diagnostic bundle written to {path}")
+            print(f"  inspect with: raincore-repro obs render {path}")
         if not args.no_shrink and len(schedule.ops) > 1:
             print("shrinking ...")
             minimal, tests = shrink_schedule(
@@ -461,6 +612,7 @@ _COMMANDS = {
     "info": cmd_info,
     "quickstart": cmd_quickstart,
     "trace": cmd_trace,
+    "obs": cmd_obs,
     "scaling": cmd_scaling,
     "failover": cmd_failover,
     "merge": cmd_merge,

@@ -103,6 +103,29 @@ class RaincoreCluster:
                 node.set_eligible(self.node_ids)
             self.nodes[node_id] = ClusterNode(node, listener, addr_map[node_id])
         self.faults = FaultInjector(self)
+        # Probe bus (repro.obs): None until enable_probes() opts in, so the
+        # default harness pays nothing for observability.
+        self.probes = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def enable_probes(self):
+        """Attach one probe bus to every layer of the cluster; idempotent.
+
+        Returns the :class:`~repro.obs.probe.ProbeBus`.  Imported lazily so
+        clusters that never observe pay no import cost either.
+        """
+        if self.probes is None:
+            from repro.obs.probe import ProbeBus
+
+            bus = ProbeBus(self.loop)
+            self.network.probe = bus
+            for cn in self.nodes.values():
+                cn.node.probe = bus
+                cn.node.transport.probe = bus
+            self.probes = bus
+        return self.probes
 
     # ------------------------------------------------------------------
     # access
@@ -214,6 +237,9 @@ class RaincoreCluster:
             addresses.append(addr)
         listener = RecordingListener()
         node = RaincoreNode(node_id, self.loop, self.network, self.config, listener)
+        if self.probes is not None:
+            node.probe = self.probes
+            node.transport.probe = self.probes
         self.node_ids.append(node_id)
         self.nodes[node_id] = ClusterNode(node, listener, addresses)
         if self._auto_eligible:

@@ -29,7 +29,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.states import NodeState
 
@@ -58,6 +58,10 @@ class InvariantMonitor:
     violations: list[Violation] = field(default_factory=list)
     double_token_time: float = 0.0  #: cumulative seconds with >1 holder
     samples: int = 0
+    #: Called with each Violation the moment it is flagged — the flight
+    #: recorder hooks this to snapshot its rings at first-violation time,
+    #: before later traffic evicts the interesting events.
+    on_violation: Callable[[Violation], None] | None = None
     _last_seqs: dict[str, int] = field(default_factory=dict)
     _running: bool = False
 
@@ -114,7 +118,10 @@ class InvariantMonitor:
         self._arm()
 
     def _flag(self, at: float, kind: str, detail: str) -> None:
-        self.violations.append(Violation(at, kind, detail))
+        violation = Violation(at, kind, detail)
+        self.violations.append(violation)
+        if self.on_violation is not None:
+            self.on_violation(violation)
 
     # ------------------------------------------------------------------
     def assert_clean(self, max_double_token_time: float = 0.0) -> None:

@@ -86,7 +86,7 @@ class MergeProtocol:
             return
         targets = self.eligible - set(node.members) - {node.node_id}
         if targets:
-            node.stats.gc_wakeup(node.loop.now)
+            node._gc_wakeup()
             beacon = BodyOdor(node.node_id, node.group_id)
             for target in sorted(targets):
                 node.transport.send_best_effort(target, beacon)
@@ -157,7 +157,7 @@ class MergeProtocol:
 
     def _drop_held_tbm(self) -> None:
         if self._held_tbm is not None:
-            self.node.stats.gc_wakeup(self.node.loop.now)
+            self.node._gc_wakeup()
             self._held_tbm = None
 
     @property
@@ -188,7 +188,20 @@ class MergeProtocol:
             messages=list(tbm.messages) + list(own.messages),
             tbm=False,
             view_id=max(tbm.view_id, own.view_id) + 1,
+            gen=self.node._next_gen(),
         )
+        probe = self.node.probe
+        if probe is not None:
+            # Both parent lineages are recorded here (probe stream only);
+            # bundles use them to follow spans across the merge.
+            probe.emit(
+                self.node.node_id,
+                "token.merge",
+                merged.gen,
+                tbm.gen,
+                own.gen,
+                merged.seq,
+            )
         alive = set(merged_ring)
         messages = merged.messages
         for i, msg in enumerate(messages):

@@ -215,6 +215,11 @@ class MulticastService:
                 if msg.shared:
                     msg = msg.cow()
                 msg.confirmed = True
+                probe = self.node.probe
+                if probe is not None:
+                    probe.emit(
+                        self.node.node_id, "mcast.confirm", msg.origin, msg.msg_no
+                    )
                 if current is None:
                     current = set(token.membership)
                 msg.pending = set(msg.audience) & current
@@ -269,6 +274,21 @@ class MulticastService:
             msg.audience = frozenset(members)
             msg.pending = set(members) - {me}
             token.attach_message(msg)
+            probe = self.node.probe
+            if probe is not None:
+                # The attach is the root of the multicast's causal span
+                # (origin, msg_no); the token's lineage id links it to the
+                # hops that will carry it.
+                probe.emit(
+                    me,
+                    "mcast.attach",
+                    msg.origin,
+                    msg.msg_no,
+                    msg.ordering.value,
+                    msg.size,
+                    len(msg.audience),
+                    token.gen,
+                )
             # The originator receives its own message at attach time; this
             # keeps local delivery order identical to token order.
             self._remember(msg.uid)
@@ -286,6 +306,8 @@ class MulticastService:
                 # Singleton group: received by all (just us); confirm now,
                 # deliver via phase 2 on the next self-visit.
                 msg.confirmed = True
+                if probe is not None:
+                    probe.emit(me, "mcast.confirm", msg.origin, msg.msg_no)
                 msg.pending = {me}
 
     # ------------------------------------------------------------------
@@ -300,9 +322,18 @@ class MulticastService:
     def _drain_deliverable(self) -> None:
         listener = self.node.listener
         now = self.node.loop.now
+        probe = self.node.probe
         while self._hold and self._hold[0].deliverable:
             held = self._hold.popleft()
             self.node.stats.messages_delivered += 1
+            if probe is not None:
+                probe.emit(
+                    self.node.node_id,
+                    "mcast.deliver",
+                    held.origin,
+                    held.msg_no,
+                    held.ordering.value,
+                )
             listener.on_deliver(
                 Delivery(held.origin, held.msg_no, held.payload, held.ordering, now)
             )

@@ -95,6 +95,11 @@ class RecoveryProtocol:
         self._dead_this_round = set()
         self._grants_this_round = 0
         self._join_pending_this_round = 0
+        probe = node.probe
+        if probe is not None:
+            probe.emit(
+                node.node_id, "recovery.round", round_id, node.local_copy_seq, len(peers)
+            )
         msg = NineOneOne(node.node_id, node.local_copy_seq, round_id)
         for peer in peers:
             node.transport.send(
@@ -115,7 +120,7 @@ class RecoveryProtocol:
         if not ok:
             # Failure-on-delivery: the peer is dead from our local view;
             # it neither votes nor appears in a regenerated membership.
-            self.node.stats.gc_wakeup(self.node.loop.now)
+            self.node._gc_wakeup()
             self._dead_this_round.add(peer)
             self._awaiting.discard(peer)
             self._check_complete()
@@ -146,6 +151,9 @@ class RecoveryProtocol:
             return
         # DENY_HAVE_TOKEN / DENY_NEWER_COPY: the token is alive (or a better
         # candidate exists); go back to waiting for it.
+        probe = self.node.probe
+        if probe is not None:
+            probe.emit(self.node.node_id, "recovery.denied", reply.round_id)
         self._abort_round()
         self.rounds_denied += 1
         self.node._transition(NodeState.HUNGRY)
@@ -154,7 +162,7 @@ class RecoveryProtocol:
     def _on_round_timeout(self, round_id: int) -> None:
         if round_id != self._active_round:
             return
-        self.node.stats.gc_wakeup(self.node.loop.now)
+        self.node._gc_wakeup()
         # Unresponsive peers (acked but never replied) are treated as dead,
         # exactly like failure-on-delivery.
         self._dead_this_round.update(self._awaiting)
@@ -199,6 +207,14 @@ class RecoveryProtocol:
             token.membership = (node.node_id,) + token.membership
         token.seq = copy.seq + REGEN_SEQ_MARGIN
         token.tbm = False
+        # The regenerated token starts a new lineage; the parent gen is
+        # recorded in the probe stream (not on the wire), which is what lets
+        # a bundle link spans across the regeneration.
+        parent = token.gen
+        token.gen = node._next_gen()
+        probe = node.probe
+        if probe is not None:
+            probe.emit(node.node_id, "token.regen", token.gen, parent, token.seq)
         self.regenerations += 1
         node._accept_token(token)
 
@@ -246,6 +262,9 @@ class RecoveryProtocol:
         contact = self._join_contacts[self._join_attempt % len(self._join_contacts)]
         self._join_attempt += 1
         round_id = next(self._round_ids)
+        probe = node.probe
+        if probe is not None:
+            probe.emit(node.node_id, "recovery.join", contact, self._join_attempt)
         msg = NineOneOne(node.node_id, node.local_copy_seq, round_id)
         node.transport.send(contact, msg)
         self._arm_join_timer()
@@ -262,7 +281,7 @@ class RecoveryProtocol:
         node = self.node
         if node.state is not NodeState.JOINING:
             return
-        node.stats.gc_wakeup(node.loop.now)
+        node._gc_wakeup()
         if not self._join_contacts:
             # We got here via JOIN_PENDING (we were a member and were
             # removed): keep knocking at our former peers.

@@ -85,6 +85,11 @@ class RaincoreNode:
         self.config = config if config is not None else RaincoreConfig()
         self.listener = listener if listener is not None else SessionListener()
         self.stats = network.stats.for_node(node_id)
+        # Optional probe bus (repro.obs); None keeps every hot path at one
+        # attribute load + None test.  Wired by ClusterHarness.enable_probes.
+        self.probe = None
+        # Per-node token-lineage counter for gen ids ("A.1", "A.2", ...).
+        self._gen_seq = 0
 
         self.transport = ReliableUnicast(node_id, loop, network, self.config.transport)
         self.transport.set_receiver(self._receive)
@@ -189,9 +194,30 @@ class RaincoreNode:
         self.multicast_service.reset()
         self.mutex._queue.clear()
 
+    def _next_gen(self) -> str:
+        """Mint the next token-lineage id created by this node.
+
+        Deterministic by construction (node id + local counter), so it is
+        safe to carry on the wire and in exported probe streams.
+        """
+        self._gen_seq += 1
+        return f"{self.node_id}.{self._gen_seq}"
+
+    def _gc_wakeup(self) -> None:
+        """Charge a GC task wakeup and probe it when it is a fresh batch."""
+        if self.stats.gc_wakeup(self.loop.now):
+            probe = self.probe
+            if probe is not None:
+                probe.emit(self.node_id, "core.wakeup")
+
     def _bootstrap_token(self) -> None:
         """Create the group's first token (also the fresh-bootstrap 911 path)."""
-        token = Token(seq=0, membership=(self.node_id,), view_id=0)
+        token = Token(
+            seq=0, membership=(self.node_id,), view_id=0, gen=self._next_gen()
+        )
+        probe = self.probe
+        if probe is not None:
+            probe.emit(self.node_id, "token.bootstrap", token.gen)
         self._accept_token(token)
 
     def shutdown(self, reason: str = "shutdown") -> None:
@@ -205,6 +231,9 @@ class RaincoreNode:
             return
         self.shutdown_reason = reason
         self._teardown()
+        probe = self.probe
+        if probe is not None:
+            probe.emit(self.node_id, "node.shutdown", reason)
         self.listener.on_shutdown(reason)
 
     def crash(self) -> None:
@@ -281,6 +310,9 @@ class RaincoreNode:
                 f"{self.node_id}: illegal transition {old.value} -> {new.value}"
             )
         self.state = new
+        probe = self.probe
+        if probe is not None:
+            probe.emit(self.node_id, "node.state", old.value, new.value)
         self.listener.on_state_change(old, new)
 
     def _arm_hungry_timer(self, timeout: float | None = None) -> None:
@@ -302,7 +334,7 @@ class RaincoreNode:
     def _on_hungry_timeout(self, epoch: int) -> None:
         if epoch != self._epoch or self.state is not NodeState.HUNGRY:
             return
-        self.stats.gc_wakeup(self.loop.now)
+        self._gc_wakeup()
         self.recovery.on_hungry_timeout()
 
     # ------------------------------------------------------------------
@@ -312,7 +344,7 @@ class RaincoreNode:
         """Transport delivered a session-layer message: one GC wakeup."""
         if self.state is NodeState.DOWN:
             return
-        self.stats.gc_wakeup(self.loop.now)
+        self._gc_wakeup()
         if isinstance(payload, Token):
             self._accept_token(payload, from_node=src_node)
         elif isinstance(payload, NineOneOne):
@@ -368,6 +400,15 @@ class RaincoreNode:
             # join/merge machinery absorbs it (the recovery protocol's
             # abstention + escalation rules make that terminate; see
             # docs/PROTOCOL.md §4.2).
+            probe = self.probe
+            if probe is not None:
+                probe.emit(
+                    self.node_id,
+                    "token.stale",
+                    from_node if from_node is not None else "local",
+                    token.gen,
+                    token.seq,
+                )
             return
         if not token.has_member(self.node_id):
             # We were removed while the token was in flight; we will starve
@@ -375,6 +416,16 @@ class RaincoreNode:
             return
         self._last_seen_seq = token.seq
         self._live_token = token
+        probe = self.probe
+        if probe is not None:
+            probe.emit(
+                self.node_id,
+                "token.accept",
+                from_node if from_node is not None else "local",
+                token.gen,
+                token.seq,
+                len(token.messages),
+            )
         self.recovery.cancel_timers()
         timer = self._hungry_timer
         if timer is not None:
@@ -433,6 +484,11 @@ class RaincoreNode:
         self._members = token.membership
         if self._announced_view != token.membership:
             self._announced_view = token.membership
+            probe = self.probe
+            if probe is not None:
+                probe.emit(
+                    self.node_id, "view.change", token.view_id, token.membership
+                )
             self.listener.on_view_change(
                 ViewChange(token.view_id, token.membership, self.loop.now)
             )
@@ -471,6 +527,12 @@ class RaincoreNode:
         self._transition(NodeState.HUNGRY)
         self._arm_hungry_timer()
         seq = sent.seq
+        probe = self.probe
+        if probe is not None:
+            # Forwarding the token *is* arming the failure detector: the
+            # transport's failure-on-delivery on this send is what detects
+            # a dead neighbour (paper §2.2).
+            probe.emit(self.node_id, "fd.arm", target, seq)
         self.transport.send(
             target,
             sent,
@@ -480,14 +542,19 @@ class RaincoreNode:
     def _on_forward_result(self, target: str, seq: int, ok: bool) -> None:
         if ok or self.state is NodeState.DOWN:
             return
+        probe = self.probe
         if self._last_seen_seq >= seq:
             # We have seen a newer token since; the ring moved on without
             # our help (e.g. the "failed" forward actually arrived).
+            if probe is not None:
+                probe.emit(self.node_id, "fd.false_alarm", target, seq)
             return
         # Failure-on-delivery: aggressive failure detection (paper §2.2).
         # Remove the dead neighbour and pass the token to the next healthy
         # node, resuming from our local copy of exactly what we sent.
-        self.stats.gc_wakeup(self.loop.now)
+        self._gc_wakeup()
+        if probe is not None:
+            probe.emit(self.node_id, "fd.fire", target, seq)
         copy = self._local_copy
         if copy is None:  # pragma: no cover - defensive
             return

@@ -125,6 +125,14 @@ class PiggybackedMessage:
         """Stable multicast identity ``(origin, msg_no)``."""
         return (self.origin, self.msg_no)
 
+    def span(self) -> str:
+        """Human-readable span id for traces (``origin#msg_no``).
+
+        The span identity *is* the wire-carried ``(origin, msg_no)`` pair;
+        ``uid`` is process-local and never appears in exported streams.
+        """
+        return f"{self.origin}#{self.msg_no}"
+
     def cow(self) -> "PiggybackedMessage":
         """Return a privately mutable version of this message.
 
@@ -164,6 +172,10 @@ class Token:
     messages: list[PiggybackedMessage] = field(default_factory=list)
     tbm: bool = False
     view_id: int = 0  #: bumped on every membership change, for listeners
+    #: Lineage id ("<node>.<k>") stamped at bootstrap / 911 regeneration /
+    #: merge and carried on the wire as the token's causal trace context.
+    #: Deterministic (per-node counters), unlike ``PiggybackedMessage.uid``.
+    gen: str = ""
     #: Cached sum of message wire sizes (maintained incrementally).  The
     #: cache is tagged with the list object and length it was computed for,
     #: so direct ``token.messages`` mutation (tests, adversarial injection)
@@ -281,6 +293,15 @@ class Token:
         self.membership = tuple(ring)
         self.view_id += 1
 
+    def trace_context(self) -> tuple:
+        """Causal trace context read at transmit time (see transport.tx).
+
+        Rides within the modelled :data:`TOKEN_HEADER` bytes — the header
+        already accounts for seq/flags/counts, and the lineage id replaces
+        slack in that fixed allowance, so wire sizes are unchanged.
+        """
+        return ("tok", self.gen, self.seq, len(self.messages), self.tbm)
+
     # ------------------------------------------------------------------
     # copying
     # ------------------------------------------------------------------
@@ -304,6 +325,7 @@ class Token:
         token.messages = messages
         token.tbm = self.tbm
         token.view_id = self.view_id
+        token.gen = self.gen
         token._msgs_wire = self._msgs_wire
         token._wire_list = messages
         token._wire_n = len(messages)
@@ -339,6 +361,7 @@ class Token:
             ],
             tbm=self.tbm,
             view_id=self.view_id,
+            gen=self.gen,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

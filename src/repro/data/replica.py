@@ -115,6 +115,14 @@ class ReplicaBase(SessionListener):
     def on_deliver(self, delivery: Delivery) -> None:
         payload = delivery.payload
         if self._is_snapshot(payload):
+            probe = self.node.probe
+            if probe is not None:
+                probe.emit(
+                    self.node.node_id,
+                    "state.install",
+                    self.SERVICE,
+                    not self._synced,
+                )
             self._install_snapshot(payload)
             if not self._synced:
                 self._synced = True
@@ -144,6 +152,9 @@ class ReplicaBase(SessionListener):
             size = getattr(snap, "wire_size", lambda: 64)()
             return snap, size
 
+        probe = self.node.probe
+        if probe is not None:
+            probe.emit(self.node.node_id, "state.snapshot", self.SERVICE)
         self.node.multicast(DeferredPayload(materialize))
 
     # ------------------------------------------------------------------
@@ -237,5 +248,8 @@ class ReplicaBase(SessionListener):
             self._multicast_snapshot()
             return
         self._sync_requests_sent += 1
+        probe = self.node.probe
+        if probe is not None:
+            probe.emit(self.node.node_id, "state.sync_request", self.SERVICE)
         self.node.multicast(SyncRequest(self.SERVICE, self.node.node_id))
         self._arm_sync_timer()

@@ -11,6 +11,12 @@ Three families (full prose in docs/DETERMINISM.md):
   ``EventLoop`` internals from protocol code.
 * **RC3xx hot-path hygiene** — per-packet/per-hop dataclasses carry
   ``__slots__``; no ``copy.deepcopy`` on the token/datagram hot path.
+* **RC4xx observability** — probe emissions stay cheap and deterministic:
+  no eager string formatting in ``probe.emit(...)`` argument lists (the
+  probe catalogue formats lazily at render time), and probe events are
+  stamped with sim time by the bus alone — no hand-built
+  :class:`~repro.obs.probe.ProbeEvent` outside ``repro/obs/``, no ``at=``
+  smuggled into an emit call.
 
 RC0xx are meta findings emitted by the engine itself (parse failures and
 pragma hygiene); they are registered here so ``--list-rules`` and pragma
@@ -464,3 +470,110 @@ def check_hot_path_deepcopy(ctx: FileContext) -> Iterator[FileFinding]:
                 "paths use copy-on-write (Token.snapshot / "
                 "PiggybackedMessage.cow) instead",
             )
+
+
+# ----------------------------------------------------------------------
+# RC4xx — observability
+# ----------------------------------------------------------------------
+def _is_probe_receiver(ctx: FileContext, func: ast.AST) -> bool:
+    """True for ``<probe-ish>.emit(...)`` call targets.
+
+    Matches the repo's probe-handle naming convention: a bare or dotted
+    name whose final component is ``probe``/``probes``/``bus`` or ends in
+    ``_probe``/``_bus`` (``self.probe``, ``bus``, ``node.probe``, ...).
+    """
+    if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+        return False
+    name = ctx.resolve(func.value)
+    if name is None:
+        return False
+    leaf = name.split(".")[-1]
+    return (
+        leaf in ("probe", "probes", "bus")
+        or leaf.endswith("_probe")
+        or leaf.endswith("_bus")
+    )
+
+
+def _eager_format(node: ast.AST) -> str | None:
+    """Kind of eager string formatting, or None."""
+    if isinstance(node, ast.JoinedStr):
+        return "f-string"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        return "%-formatting"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        if _eager_format(node.left) or _eager_format(node.right):
+            return "string concatenation of formatted parts"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "format"
+    ):
+        return ".format() call"
+    return None
+
+
+@rule("RC401", "eager string formatting in a probe.emit() argument")
+def check_probe_lazy_args(ctx: FileContext) -> Iterator[FileFinding]:
+    """Probe emissions ride the per-packet/per-hop path of every layer.
+
+    The zero-cost-when-disabled contract only holds for the *enabled* side
+    if arguments stay raw: the probe catalogue names each field and
+    rendering formats them at export time.  An f-string (or ``%``/
+    ``.format``) in the argument list pays string-building on every hop
+    and bakes a rendering into the stream that the exporters can no
+    longer take apart.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not _is_probe_receiver(ctx, node.func):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            kind = _eager_format(arg)
+            if kind is not None:
+                yield (
+                    arg.lineno,
+                    arg.col_offset,
+                    f"{kind} inside probe.emit() builds the string on the "
+                    "hot path; pass raw fields — the probe catalogue "
+                    "formats lazily at render/export time",
+                )
+
+
+@rule("RC402", "probe event timestamped outside the bus (sim-time only)")
+def check_probe_sim_time(ctx: FileContext) -> Iterator[FileFinding]:
+    """The bus stamps every event with ``loop.now`` when it is emitted.
+
+    Constructing a ProbeEvent by hand (outside ``repro/obs/``) or passing
+    an ``at=`` keyword to ``emit()`` would let call sites invent
+    timestamps — the one thing that must come from the simulation clock
+    alone for streams to merge and replays to compare byte-for-byte.
+    """
+    in_obs = ctx.in_dir("repro/obs/")
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.resolve(node.func)
+        if (
+            not in_obs
+            and name is not None
+            and name.split(".")[-1] == "ProbeEvent"
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "ProbeEvent built outside repro/obs/: events are created "
+                "by ProbeBus.emit(), which stamps loop.now and the global "
+                "ordinal; hand-built events can carry invented timestamps",
+            )
+        elif _is_probe_receiver(ctx, node.func):
+            for kw in node.keywords:
+                if kw.arg == "at":
+                    yield (
+                        kw.value.lineno,
+                        kw.value.col_offset,
+                        "at= passed to probe.emit(): the bus stamps sim "
+                        "time (loop.now) itself; call sites must not "
+                        "supply timestamps",
+                    )

@@ -1,11 +1,14 @@
 """Protocol event tracing: record and render what the cluster did.
 
 Distributed protocols are debugged with timelines.  :class:`TraceRecorder`
-hooks a :class:`~repro.cluster.harness.RaincoreCluster` (listeners on every
-node plus the network's wiretap) and records a single time-ordered event
-log: state transitions, view changes, deliveries, shutdowns and token
-hand-offs.  :func:`render_timeline` prints it as an ASCII table — the
-output the examples and bug reports are written around.
+reads the cluster's probe bus (:mod:`repro.obs`) and records a single
+time-ordered event log: state transitions, view changes, deliveries,
+shutdowns and token hand-offs.  :func:`render_timeline` prints it as an
+ASCII table — the output the examples and bug reports are written around.
+
+Historically this module carried its own listener/wiretap plumbing; it is
+now a thin view over the probe stream, formatting five probe kinds into
+the exact same five trace kinds (golden-tested byte-for-byte).
 
 Usage::
 
@@ -18,16 +21,21 @@ Usage::
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.events import Delivery, SessionListener, ViewChange
-from repro.core.token import Token
-
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.harness import RaincoreCluster
+    from repro.obs.probe import ProbeEvent
 
-__all__ = ["TraceEvent", "TraceRecorder", "render_timeline", "render_swimlanes"]
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "render_timeline",
+    "render_swimlanes",
+    "events_to_json",
+]
 
 
 @dataclass(frozen=True)
@@ -40,32 +48,13 @@ class TraceEvent:
     detail: str
 
 
-class _NodeTracer(SessionListener):
-    def __init__(self, recorder: "TraceRecorder", node_id: str) -> None:
-        self.recorder = recorder
-        self.node_id = node_id
-
-    def on_state_change(self, old, new) -> None:
-        self.recorder._record(self.node_id, "state", f"{old.value} -> {new.value}")
-
-    def on_view_change(self, view: ViewChange) -> None:
-        self.recorder._record(
-            self.node_id, "view", f"v{view.view_id}: {'-'.join(view.members)}"
-        )
-
-    def on_deliver(self, delivery: Delivery) -> None:
-        self.recorder._record(
-            self.node_id,
-            "deliver",
-            f"{delivery.origin}#{delivery.msg_no} ({delivery.ordering.value})",
-        )
-
-    def on_shutdown(self, reason: str) -> None:
-        self.recorder._record(self.node_id, "shutdown", reason)
-
-
 class TraceRecorder:
-    """Attach to a cluster and collect a unified, time-ordered event log."""
+    """Attach to a cluster and collect a unified, time-ordered event log.
+
+    Construction enables the cluster's probe bus (idempotent) and
+    subscribes; only nodes present at construction are traced (token
+    hand-offs are traced cluster-wide, as the old wiretap did).
+    """
 
     def __init__(
         self,
@@ -75,37 +64,44 @@ class TraceRecorder:
         trace_deliveries: bool = True,
         max_events: int = 100_000,
     ) -> None:
-        from repro.core.events import ensure_composite
-
         self.cluster = cluster
         self.events: list[TraceEvent] = []
         self.max_events = max_events
+        self._trace_tokens = trace_tokens
         self._trace_deliveries = trace_deliveries
-        for node_id in cluster.node_ids:
-            tracer = _NodeTracer(self, node_id)
-            if not trace_deliveries:
-                tracer.on_deliver = lambda d: None  # type: ignore[method-assign]
-            ensure_composite(cluster.node(node_id)).add(tracer)
-        if trace_tokens:
-            previous = cluster.network.trace
+        self._nodes = set(cluster.node_ids)
+        self._bus = cluster.enable_probes()
+        self._bus.subscribe(self._on_probe)
 
-            def tap(packet, sent_ok):
-                if previous is not None:
-                    previous(packet, sent_ok)
-                frame = packet.payload
-                payload = getattr(frame, "payload", None)
-                if isinstance(payload, Token):
-                    src = cluster.topology.owner_of(packet.src)
-                    dst = cluster.topology.owner_of(packet.dst)
-                    self._record(
-                        src,
-                        "token",
-                        f"seq={payload.seq} -> {dst}"
-                        + (f" +{len(payload.messages)}msg" if payload.messages else "")
-                        + (" TBM" if payload.tbm else ""),
-                    )
+    def detach(self) -> None:
+        """Stop recording (recorded events are kept)."""
+        self._bus.unsubscribe(self._on_probe)
 
-            cluster.network.trace = tap
+    def _on_probe(self, event: "ProbeEvent") -> None:
+        kind = event.kind
+        args = event.args
+        if kind == "node.state":
+            if event.node in self._nodes:
+                self._record(event.node, "state", f"{args[0]} -> {args[1]}")
+        elif kind == "view.change":
+            if event.node in self._nodes:
+                self._record(event.node, "view", f"v{args[0]}: {'-'.join(args[1])}")
+        elif kind == "mcast.deliver":
+            if self._trace_deliveries and event.node in self._nodes:
+                self._record(event.node, "deliver", f"{args[0]}#{args[1]} ({args[2]})")
+        elif kind == "node.shutdown":
+            if event.node in self._nodes:
+                self._record(event.node, "shutdown", args[0])
+        elif kind == "transport.tx" and self._trace_tokens:
+            ctx = args[4]
+            if isinstance(ctx, tuple) and ctx and ctx[0] == "tok":
+                self._record(
+                    event.node,
+                    "token",
+                    f"seq={ctx[2]} -> {args[0]}"
+                    + (f" +{ctx[3]}msg" if ctx[3] else "")
+                    + (" TBM" if ctx[4] else ""),
+                )
 
     def _record(self, node: str, kind: str, detail: str) -> None:
         if len(self.events) >= self.max_events:
@@ -182,3 +178,15 @@ def render_timeline(events: list[TraceEvent], limit: int | None = None) -> str:
     if footer:
         lines.append(footer)
     return "\n".join(lines)
+
+
+def events_to_json(events: list[TraceEvent]) -> str:
+    """Stable JSON array of trace events (``repro trace --json``)."""
+    return json.dumps(
+        [
+            {"at": e.at, "node": e.node, "kind": e.kind, "detail": e.detail}
+            for e in events
+        ],
+        sort_keys=True,
+        indent=2,
+    )

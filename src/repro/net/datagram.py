@@ -80,6 +80,9 @@ class DatagramNetwork:
         self.packets_dropped = 0
         self.packets_delivered = 0
         self.packets_duplicated = 0
+        # Optional probe bus (repro.obs): None means observability is off and
+        # the per-packet cost is one attribute load + None test.
+        self.probe = None
         # Optional wiretap for tests/tracing: called for every send attempt.
         self.trace: Callable[[Datagram, bool], None] | None = None
         # Optional selective filter: return False to drop a packet.  This is
@@ -180,20 +183,25 @@ class DatagramNetwork:
         if route is None or route[0] != self.topology.version:
             route = self._route(src, dst)
         route[1].packet_sent(size)
+        probe = self.probe
+        if probe is not None:
+            probe.emit(
+                route[1].node_id, "net.send", src, dst, type(payload).__name__, size
+            )
 
         if not route[2]:
-            self._drop(packet)
+            self._drop(packet, "unreachable")
             return
         if self._filtered_out(packet):
-            self._drop(packet)
+            self._drop(packet, "filtered")
             return
         seg = route[3]
         rng = self.loop.rng
         if seg.loss > 0.0 and rng.random() < seg.loss:
-            self._drop(packet)
+            self._drop(packet, "loss")
             return
         if seg.burst is not None and seg.burst.sample(rng):
-            self._drop(packet)
+            self._drop(packet, "burst")
             return
         delay = seg.latency
         if seg.jitter > 0.0:
@@ -211,10 +219,30 @@ class DatagramNetwork:
             if seg.jitter > 0.0:
                 twin_delay += rng.random() * seg.jitter
             self.packets_duplicated += 1
+            if probe is not None:
+                probe.emit(
+                    route[1].node_id,
+                    "net.dup",
+                    src,
+                    dst,
+                    type(payload).__name__,
+                    size,
+                )
             self.loop.call_later(twin_delay, self._deliver, packet)
 
-    def _drop(self, packet: Datagram) -> None:
+    def _drop(self, packet: Datagram, where: str = "net") -> None:
         self.packets_dropped += 1
+        probe = self.probe
+        if probe is not None:
+            probe.emit(
+                self.topology.owner_of(packet.src),
+                "net.drop",
+                packet.src,
+                packet.dst,
+                type(packet.payload).__name__,
+                packet.size,
+                where,
+            )
         if self.trace is not None:
             self.trace(packet, False)
 
@@ -222,16 +250,46 @@ class DatagramNetwork:
         # Re-check liveness at arrival time: the destination may have
         # crashed, been unplugged, or been partitioned while in flight.
         dst = packet.dst
+        probe = self.probe
         route = self._routes.get((packet.src, dst))
         if route is None or route[0] != self.topology.version:
             route = self._route(packet.src, dst)
         if not route[2]:
             self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    self.topology.owner_of(packet.src),
+                    "net.drop",
+                    packet.src,
+                    dst,
+                    type(packet.payload).__name__,
+                    packet.size,
+                    "dst-down",
+                )
             return
         handler = self._handlers.get(dst)
         if handler is None:
             self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    self.topology.owner_of(packet.src),
+                    "net.drop",
+                    packet.src,
+                    dst,
+                    type(packet.payload).__name__,
+                    packet.size,
+                    "unbound",
+                )
             return
         route[4].packet_received(packet.size)
         self.packets_delivered += 1
+        if probe is not None:
+            probe.emit(
+                route[4].node_id,
+                "net.deliver",
+                packet.src,
+                dst,
+                type(packet.payload).__name__,
+                packet.size,
+            )
         handler(packet)

@@ -1,0 +1,67 @@
+"""repro.obs — deterministic cross-layer observability.
+
+Four pieces (docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.probe` — the probe bus: typed, zero-cost-when-disabled
+  event emission from every layer, with the probe catalogue.
+* :mod:`repro.obs.registry` — counters/gauges/histograms with sim-time
+  windowing, unifying the ad-hoc ``NodeStats`` counters into one export.
+* :mod:`repro.obs.recorder` — the flight recorder (bounded per-node event
+  rings) and failure-time diagnostic bundles.
+* :mod:`repro.obs.scenario` — the shared quickstart scenario used by the
+  ``repro obs`` CLI and the determinism tests.
+"""
+
+from repro.obs.probe import (
+    PROBE_CATALOG,
+    ProbeBus,
+    ProbeEvent,
+    event_from_record,
+    event_record,
+    events_to_jsonl,
+    format_event,
+)
+from repro.obs.recorder import (
+    BUNDLE_SCHEMA,
+    FlightRecorder,
+    build_bundle,
+    bundle_events,
+    bundle_to_json,
+    causal_chain,
+    dump_bundle,
+    load_bundle,
+    render_bundle,
+    render_chain,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ProbeMetrics,
+)
+
+__all__ = [
+    "PROBE_CATALOG",
+    "ProbeBus",
+    "ProbeEvent",
+    "event_from_record",
+    "event_record",
+    "events_to_jsonl",
+    "format_event",
+    "BUNDLE_SCHEMA",
+    "FlightRecorder",
+    "build_bundle",
+    "bundle_events",
+    "bundle_to_json",
+    "causal_chain",
+    "dump_bundle",
+    "load_bundle",
+    "render_bundle",
+    "render_chain",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProbeMetrics",
+]

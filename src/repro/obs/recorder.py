@@ -1,0 +1,254 @@
+"""Flight recorder: bounded per-node probe rings and diagnostic bundles.
+
+The recorder keeps the *recent* probe history of every node in a bounded
+ring (old events fall off the back), so that when something finally goes
+wrong — an invariant violation, a chaos-campaign failure, a harness
+assertion — the moments leading up to it are still in memory and can be
+dumped as one self-contained **diagnostic bundle**: reason, sim time,
+recent events, metrics snapshot, and (for chaos runs) the fault schedule.
+
+Bundles are plain JSON with fully sorted keys; two runs with the same seed
+produce byte-identical bundles.  ``repro obs render`` turns a bundle back
+into the familiar timeline/swimlane views and can extract the causal chain
+of a single multicast span (attach → token hops → delivery).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterable
+
+from repro.metrics.trace import TraceEvent, render_swimlanes, render_timeline
+from repro.obs.probe import (
+    ProbeBus,
+    ProbeEvent,
+    event_from_record,
+    event_record,
+    format_event,
+)
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "FlightRecorder",
+    "build_bundle",
+    "bundle_to_json",
+    "dump_bundle",
+    "load_bundle",
+    "bundle_events",
+    "render_bundle",
+    "causal_chain",
+    "render_chain",
+]
+
+#: Bundle format identifier; bump on incompatible layout changes.
+BUNDLE_SCHEMA = "repro.obs.bundle/1"
+
+
+class FlightRecorder:
+    """Bounded ring of recent probe events, one ring per node.
+
+    Subscribes to a :class:`ProbeBus` and keeps the last ``capacity``
+    events of each node.  :meth:`snapshot` returns the union in global
+    emission order — exactly what a diagnostic bundle wants at the moment
+    of failure.
+    """
+
+    def __init__(self, bus: ProbeBus, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self.events_seen = 0
+        self._rings: dict[str, deque[ProbeEvent]] = {}
+        self._bus = bus
+        bus.subscribe(self._on_event)
+
+    def _on_event(self, event: ProbeEvent) -> None:
+        ring = self._rings.get(event.node)
+        if ring is None:
+            ring = self._rings[event.node] = deque(maxlen=self.capacity)
+        ring.append(event)
+        self.events_seen += 1
+
+    def close(self) -> None:
+        """Detach from the bus (rings keep their contents)."""
+        self._bus.unsubscribe(self._on_event)
+
+    def node_events(self, node: str) -> list[ProbeEvent]:
+        """This node's retained events, oldest first."""
+        return list(self._rings.get(node, ()))
+
+    def snapshot(self) -> list[ProbeEvent]:
+        """All retained events across nodes, in global emission order."""
+        events: list[ProbeEvent] = []
+        for ring in self._rings.values():
+            events.extend(ring)
+        events.sort(key=lambda e: e.n)
+        return events
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._rings)
+
+
+# ----------------------------------------------------------------------
+# diagnostic bundles
+# ----------------------------------------------------------------------
+def build_bundle(
+    reason: str,
+    *,
+    detail: str = "",
+    at: float = 0.0,
+    events: Iterable[ProbeEvent] = (),
+    context: dict | None = None,
+    metrics: dict | None = None,
+    schedule: dict | None = None,
+) -> dict:
+    """Assemble one self-contained diagnostic bundle.
+
+    ``reason`` is the machine-readable failure class (e.g.
+    ``"invariant:token-uniqueness"``); ``context`` carries free-form
+    deterministic metadata (seed, scenario name, node states).  All keys
+    are sorted at dump time, so equal inputs give equal bytes.
+    """
+    ordered = sorted(events, key=lambda e: e.n)
+    nodes = sorted({e.node for e in ordered})
+    return {
+        "schema": BUNDLE_SCHEMA,
+        "reason": reason,
+        "detail": detail,
+        "at": at,
+        "nodes": nodes,
+        "context": context if context is not None else {},
+        "events": [event_record(e) for e in ordered],
+        "metrics": metrics if metrics is not None else {},
+        "schedule": schedule,
+    }
+
+
+def bundle_to_json(bundle: dict) -> str:
+    """Canonical bundle serialization (sorted keys, 2-space indent)."""
+    return json.dumps(bundle, sort_keys=True, indent=2) + "\n"
+
+
+def dump_bundle(bundle: dict, path: str | Path) -> Path:
+    """Write the bundle to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(bundle_to_json(bundle))
+    return path
+
+
+def load_bundle(path: str | Path) -> dict:
+    bundle = json.loads(Path(path).read_text())
+    schema = bundle.get("schema")
+    if schema != BUNDLE_SCHEMA:
+        raise ValueError(f"not a diagnostic bundle (schema={schema!r})")
+    return bundle
+
+
+def bundle_events(bundle: dict) -> list[ProbeEvent]:
+    """Rehydrate the bundle's probe events (global emission order)."""
+    return [event_from_record(r) for r in bundle["events"]]
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _trace_events(
+    events: Iterable[ProbeEvent],
+    kinds: set[str] | None = None,
+    node: str | None = None,
+) -> list[TraceEvent]:
+    """Adapt probe events to the trace renderers' event shape.
+
+    The probe ``kind`` maps to the trace ``kind`` column and the lazily
+    formatted fields become the detail string — formatting happens here,
+    at render time, never at the emitting call site.
+    """
+    out: list[TraceEvent] = []
+    for e in events:
+        if kinds is not None and e.kind not in kinds:
+            continue
+        if node is not None and e.node != node:
+            continue
+        formatted = format_event(e)
+        detail = formatted[len(e.kind) :].lstrip()
+        out.append(TraceEvent(at=e.at, node=e.node, kind=e.kind, detail=detail))
+    return out
+
+
+def render_bundle(
+    bundle: dict,
+    *,
+    swimlanes: bool = False,
+    kinds: set[str] | None = None,
+    node: str | None = None,
+    limit: int = 60,
+) -> str:
+    """Render a bundle as the existing timeline or swimlane view."""
+    events = bundle_events(bundle)
+    traced = _trace_events(events, kinds=kinds, node=node)
+    header = (
+        f"bundle: {bundle['reason']}"
+        + (f" — {bundle['detail']}" if bundle.get("detail") else "")
+        + f"  (at {bundle['at']:.4f}s, {len(events)} events)"
+    )
+    if swimlanes:
+        body = render_swimlanes(traced, bundle["nodes"], limit=limit)
+    else:
+        body = render_timeline(traced, limit=limit)
+    return header + "\n" + body
+
+
+# ----------------------------------------------------------------------
+# causal chains
+# ----------------------------------------------------------------------
+def _is_token_ctx(ctx: object) -> bool:
+    return isinstance(ctx, tuple) and len(ctx) == 5 and ctx[0] == "tok"
+
+
+def causal_chain(
+    events: Iterable[ProbeEvent], origin: str, msg_no: int
+) -> list[ProbeEvent]:
+    """The causal chain of one multicast span ``origin#msg_no``.
+
+    Returns, in global emission order: the span's own ``mcast.*`` events
+    (attach on the origin, deliveries and confirmation everywhere) plus
+    every token movement that carried it between first attach and last
+    delivery — ``transport.tx`` hops whose trace context shows piggybacked
+    messages, ``token.accept`` on the receiving side, and any
+    regeneration/merge the token's lineage went through in that window.
+    """
+    ordered = sorted(events, key=lambda e: e.n)
+    span = [
+        e
+        for e in ordered
+        if e.kind.startswith("mcast.") and e.args[0] == origin and e.args[1] == msg_no
+    ]
+    if not span:
+        return []
+    start, end = span[0].n, span[-1].n
+    chain: list[ProbeEvent] = []
+    for e in ordered:
+        if e.n < start or e.n > end:
+            continue
+        if e in span:
+            chain.append(e)
+        elif e.kind == "token.accept" and e.args[3] > 0:
+            chain.append(e)
+        elif e.kind in ("token.regen", "token.merge"):
+            chain.append(e)
+        elif e.kind == "transport.tx" and _is_token_ctx(e.args[4]) and e.args[4][3] > 0:
+            chain.append(e)
+    return chain
+
+
+def render_chain(events: Iterable[ProbeEvent], origin: str, msg_no: int) -> str:
+    """Human-readable causal chain for the span ``origin#msg_no``."""
+    chain = causal_chain(events, origin, msg_no)
+    if not chain:
+        return f"span {origin}#{msg_no}: no events"
+    lines = [f"span {origin}#{msg_no}: {len(chain)} events"]
+    for e in chain:
+        lines.append(f"{e.at:>9.4f}s  {e.node:<4} {format_event(e)}")
+    return "\n".join(lines)

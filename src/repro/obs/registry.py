@@ -1,0 +1,245 @@
+"""Metrics registry: counters, gauges and histograms over sim time.
+
+Unifies the ad-hoc per-node counters of :class:`~repro.net.stats.NodeStats`
+(which stay as the hot-path increment sites) with probe-derived metrics in
+one registry with a stable JSON/JSONL export.  Histograms keep a bounded
+deque of ``(sim_time, value)`` samples, so summaries can be computed over a
+trailing virtual-time window — "multicasts per hop over the last 2 virtual
+seconds" — not just since process start.
+
+Everything here is cold-path: the registry is fed by probe-bus events and
+by explicit snapshots, never by per-packet protocol code.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.probe import ProbeBus, ProbeEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.stats import StatsRegistry
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "ProbeMetrics"]
+
+
+class Counter:
+    """Monotonic per-(node, name) event count."""
+
+    __slots__ = ("node", "name", "value")
+
+    def __init__(self, node: str, name: str) -> None:
+        self.node = node
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        self.value += delta
+
+
+class Gauge:
+    """Last-write-wins sampled value (e.g. a NodeStats snapshot)."""
+
+    __slots__ = ("node", "name", "value")
+
+    def __init__(self, node: str, name: str) -> None:
+        self.node = node
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Value distribution with running totals and a sim-time sample window.
+
+    Running aggregates (count/total/min/max) cover the histogram's whole
+    life; the bounded ``samples`` deque of ``(at, value)`` pairs supports
+    windowed summaries (``since=``) and percentiles over recent history.
+    """
+
+    __slots__ = ("node", "name", "count", "total", "min", "max", "samples")
+
+    def __init__(self, node: str, name: str, window: int = 1024) -> None:
+        self.node = node
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.samples: deque[tuple[float, float]] = deque(maxlen=window)
+
+    def observe(self, at: float, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.samples.append((at, value))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def window_values(self, since: float | None = None) -> list[float]:
+        """Sampled values with ``at >= since`` (all retained when None)."""
+        if since is None:
+            return [v for _, v in self.samples]
+        return [v for at, v in self.samples if at >= since]
+
+    def percentile(self, q: float, since: float | None = None) -> float:
+        """Nearest-rank percentile (``q`` in [0, 1]) over the window."""
+        values = sorted(self.window_values(since))
+        if not values:
+            return 0.0
+        rank = min(len(values) - 1, max(0, int(q * len(values))))
+        return values[rank]
+
+    def summary(self, since: float | None = None) -> dict[str, float | int]:
+        """Stable summary dict: lifetime aggregates + windowed percentiles."""
+        window = self.window_values(since)
+        out: dict[str, float | int] = {
+            "count": self.count,
+            "total": round(self.total, 9),
+            "mean": round(self.mean, 9),
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "window_count": len(window),
+        }
+        if window:
+            ordered = sorted(window)
+            out["p50"] = ordered[min(len(ordered) - 1, int(0.50 * len(ordered)))]
+            out["p95"] = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+        return out
+
+
+class MetricsRegistry:
+    """All counters/gauges/histograms of one simulation, keyed (node, name).
+
+    The pseudo-node ``"*"`` is conventional for cluster-wide series.
+    Export order is fully sorted, so one seed yields one byte stream.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, str], Counter] = {}
+        self._gauges: dict[tuple[str, str], Gauge] = {}
+        self._histograms: dict[tuple[str, str], Histogram] = {}
+
+    # -- accessors (create on first use) --------------------------------
+    def counter(self, node: str, name: str) -> Counter:
+        key = (node, name)
+        got = self._counters.get(key)
+        if got is None:
+            got = self._counters[key] = Counter(node, name)
+        return got
+
+    def gauge(self, node: str, name: str) -> Gauge:
+        key = (node, name)
+        got = self._gauges.get(key)
+        if got is None:
+            got = self._gauges[key] = Gauge(node, name)
+        return got
+
+    def histogram(self, node: str, name: str, window: int = 1024) -> Histogram:
+        key = (node, name)
+        got = self._histograms.get(key)
+        if got is None:
+            got = self._histograms[key] = Histogram(node, name, window)
+        return got
+
+    # -- ingest ----------------------------------------------------------
+    def capture_node_stats(self, stats: "StatsRegistry") -> None:
+        """Snapshot every :class:`~repro.net.stats.NodeStats` counter into
+        gauges (``stats.<counter>``), unifying the hot-path accounting with
+        the probe-derived series in one export."""
+        for s in stats:
+            for attr in (
+                "packets_sent",
+                "packets_received",
+                "bytes_sent",
+                "bytes_received",
+                "task_switches",
+                "messages_multicast",
+                "messages_delivered",
+            ):
+                self.gauge(s.node_id, f"stats.{attr}").set(getattr(s, attr))
+
+    # -- export ----------------------------------------------------------
+    def to_dict(self, since: float | None = None) -> dict:
+        """Nested ``{node: {name: value}}`` maps, keys fully sorted."""
+        counters: dict[str, dict[str, int]] = {}
+        for (node, name), c in sorted(self._counters.items()):
+            counters.setdefault(node, {})[name] = c.value
+        gauges: dict[str, dict[str, float]] = {}
+        for (node, name), g in sorted(self._gauges.items()):
+            gauges.setdefault(node, {})[name] = g.value
+        histograms: dict[str, dict[str, dict]] = {}
+        for (node, name), h in sorted(self._histograms.items()):
+            histograms.setdefault(node, {})[name] = h.summary(since)
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def to_jsonl(self, since: float | None = None) -> str:
+        """One ``{"node":..,"metric":..,...}`` object per line, sorted."""
+        lines: list[str] = []
+        for (node, name), c in sorted(self._counters.items()):
+            lines.append(_line("counter", node, name, c.value))
+        for (node, name), g in sorted(self._gauges.items()):
+            lines.append(_line("gauge", node, name, g.value))
+        for (node, name), h in sorted(self._histograms.items()):
+            lines.append(_line("histogram", node, name, h.summary(since)))
+        return "\n".join(lines)
+
+
+def _line(kind: str, node: str, name: str, value: object) -> str:
+    return json.dumps(
+        {"type": kind, "node": node, "metric": name, "value": value},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class ProbeMetrics:
+    """Bus subscriber deriving standard metrics from the probe stream.
+
+    Per node: one ``probe.<kind>`` counter per event kind, plus histograms
+    for the series the paper's arguments are made of — token inter-arrival
+    (the wakeup rate L, §4.1), piggybacked messages per hop (the multicast
+    batching), and datagram sizes (the byte overhead).
+    """
+
+    def __init__(self, bus: ProbeBus, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._last_accept: dict[str, float] = {}
+        bus.subscribe(self._on_event)
+
+    def _on_event(self, event: ProbeEvent) -> None:
+        reg = self.registry
+        reg.counter(event.node, f"probe.{event.kind}").value += 1
+        kind = event.kind
+        if kind == "token.accept":
+            last = self._last_accept.get(event.node)
+            if last is not None:
+                reg.histogram(event.node, "token.interarrival").observe(
+                    event.at, event.at - last
+                )
+            self._last_accept[event.node] = event.at
+            reg.histogram(event.node, "token.msgs_per_hop").observe(
+                event.at, event.args[3]
+            )
+        elif kind == "net.send":
+            reg.histogram(event.node, "net.sent_bytes").observe(
+                event.at, event.args[3]
+            )
+        elif kind == "mcast.attach":
+            reg.histogram(event.node, "mcast.payload_bytes").observe(
+                event.at, event.args[3]
+            )
+
+
+def iter_sorted(events: Iterable[ProbeEvent]) -> list[ProbeEvent]:
+    """Events in global emission order (the bus ordinal)."""
+    return sorted(events, key=lambda e: e.n)

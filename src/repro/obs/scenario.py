@@ -1,0 +1,67 @@
+"""The shared observability quickstart scenario.
+
+``repro obs summary`` / ``repro obs export`` and the determinism tests all
+need the *same* short, fully seeded scenario so that their outputs are
+comparable (and, for the tests, byte-identical across runs).  This module
+is that scenario: form a group, multicast, crash the last member, recover
+it — the CLI quickstart, but with the probe bus, a flight recorder and the
+probe-derived metrics attached from the first event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.harness import RaincoreCluster
+from repro.obs.probe import ProbeBus, ProbeEvent
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import MetricsRegistry, ProbeMetrics
+
+__all__ = ["ScenarioRun", "run_quickstart"]
+
+
+@dataclass
+class ScenarioRun:
+    """Everything the quickstart scenario observed."""
+
+    cluster: RaincoreCluster
+    bus: ProbeBus
+    #: complete probe stream in emission order (not ring-bounded)
+    events: list[ProbeEvent] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    recorder: FlightRecorder | None = None
+
+
+def run_quickstart(
+    nodes: int = 4,
+    seed: int = 2024,
+    duration: float = 1.0,
+    *,
+    crash: bool = True,
+    recorder_capacity: int = 512,
+) -> ScenarioRun:
+    """Run the quickstart scenario with full observability attached.
+
+    Deterministic in ``(nodes, seed, duration, crash)``: the returned
+    event stream and metrics are byte-stable across runs with equal
+    arguments (the determinism golden test pins this).
+    """
+    ids = [chr(ord("A") + i) for i in range(nodes)]
+    cluster = RaincoreCluster(ids, seed=seed)
+    bus = cluster.enable_probes()
+    run = ScenarioRun(cluster=cluster, bus=bus)
+    bus.subscribe(run.events.append)
+    run.recorder = FlightRecorder(bus, capacity=recorder_capacity)
+    ProbeMetrics(bus, run.registry)
+
+    cluster.start_all()
+    cluster.node(ids[0]).multicast(b"obs-quickstart")
+    cluster.run(duration)
+    if crash and nodes > 2:
+        victim = ids[-1]
+        cluster.faults.crash_node(victim)
+        cluster.run_until_converged(5.0, expected=set(ids) - {victim})
+        cluster.faults.recover_node(victim)
+        cluster.run_until_converged(8.0, expected=set(ids))
+    run.registry.capture_node_stats(cluster.stats)
+    return run

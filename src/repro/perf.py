@@ -21,6 +21,12 @@ Metrics (all higher-is-better except ``wall_clock_per_sim_second``):
 * ``token_hops_per_sec`` — token forwards per wall second in that ring.
 * ``wall_clock_per_sim_second`` — wall seconds needed to simulate one
   virtual second of the loaded ring (lower is better).
+* ``probe_overhead_ratio`` — wall-clock cost of running the same ring with
+  the probe bus and flight recorder attached, relative to running it with
+  probes disabled (lower is better; 1.0 means observability is free).  The
+  probes-disabled cost itself is covered by ``loaded_ring_events_per_sec``:
+  a disabled probe is one attribute load and a None test, so any
+  measurable regression there would trip the existing rate gate.
 
 ``repro bench`` (see :mod:`repro.cli`) runs the suite, writes a JSON
 report, and can gate on a committed baseline with a relative tolerance.
@@ -37,6 +43,7 @@ __all__ = [
     "FULL",
     "bench_event_loop",
     "bench_loaded_ring",
+    "bench_probe_overhead",
     "run_suite",
     "write_report",
     "compare",
@@ -48,7 +55,7 @@ FULL = {"loop_events": 50_000, "ring_sim_seconds": 1.0, "repeats": 5}
 QUICK = {"loop_events": 10_000, "ring_sim_seconds": 0.5, "repeats": 3}
 
 #: Metrics where smaller values are improvements.
-_LOWER_IS_BETTER = {"wall_clock_per_sim_second"}
+_LOWER_IS_BETTER = {"wall_clock_per_sim_second", "probe_overhead_ratio"}
 
 
 def bench_event_loop(n_events: int) -> float:
@@ -92,6 +99,40 @@ def bench_loaded_ring(sim_seconds: float) -> tuple[float, float, float]:
     return events / wall, hops / wall, wall / sim_seconds
 
 
+def bench_probe_overhead(sim_seconds: float) -> float:
+    """Instrumentation-overhead ratio of the loaded reference ring.
+
+    Runs the :func:`bench_loaded_ring` workload twice — once as shipped
+    (every probe point is a disabled ``if probe is not None`` check) and
+    once with the probe bus enabled and a flight recorder subscribed —
+    and returns ``enabled_wall / disabled_wall``.
+    """
+    from repro.cluster.harness import RaincoreCluster
+    from repro.core.config import RaincoreConfig
+
+    def one_run(probed: bool) -> float:
+        cluster = RaincoreCluster(
+            [f"n{i}" for i in range(8)],
+            seed=2,
+            config=RaincoreConfig.tuned(ring_size=8, hop_interval=0.005),
+        )
+        if probed:
+            from repro.obs import FlightRecorder
+
+            FlightRecorder(cluster.enable_probes())
+        cluster.start_all()
+        for i in range(50):
+            cluster.node(f"n{i % 8}").multicast(f"m{i}", size=200)
+        t0 = time.perf_counter()
+        cluster.run(sim_seconds)
+        t1 = time.perf_counter()
+        return t1 - t0
+
+    disabled = one_run(False)
+    enabled = one_run(True)
+    return enabled / disabled
+
+
 def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]:
     """Run all benchmarks and return a report dict (see ``write_report``).
 
@@ -108,6 +149,9 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
         key=lambda r: r[0],
     )
     events_per_s, hops_per_s, wall_per_sim = best_ring
+    best_overhead = min(
+        bench_probe_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
+    )
     return {
         "schema": 1,
         "quick": quick,
@@ -123,6 +167,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
             "loaded_ring_events_per_sec": round(events_per_s),
             "token_hops_per_sec": round(hops_per_s),
             "wall_clock_per_sim_second": round(wall_per_sim, 6),
+            "probe_overhead_ratio": round(best_overhead, 4),
         },
     }
 

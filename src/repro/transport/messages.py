@@ -25,6 +25,7 @@ __all__ = [
     "AckFrame",
     "BareFrame",
     "frame_size",
+    "trace_context_of",
     "SESSION_MESSAGES",
     "session_message",
 ]
@@ -116,3 +117,18 @@ def frame_size(frame: DataFrame | AckFrame | BareFrame) -> int:
     if type(frame) is AckFrame:
         return UDP_IP_HEADER + TRANSPORT_HEADER
     return UDP_IP_HEADER + TRANSPORT_HEADER + frame.payload_size()
+
+
+def trace_context_of(payload: Any) -> tuple | None:
+    """Wire-carried causal trace context of a payload, if it has one.
+
+    Session-layer objects opt in by defining ``trace_context()`` (the token
+    does — lineage id, seq, piggyback count).  The context is *modelled* as
+    riding inside the fixed :data:`TRANSPORT_HEADER` / token-header byte
+    allowances — identifiers this small fit the headers' slack — so
+    enabling observability never changes modelled packet sizes.  Duck-typed
+    for the same layering reason as :func:`_payload_size`: the transport
+    cannot import session-layer types.
+    """
+    fn = getattr(payload, "trace_context", None)
+    return fn() if fn is not None else None

@@ -39,6 +39,7 @@ from repro.transport.messages import (
     BareFrame,
     DataFrame,
     frame_size,
+    trace_context_of,
 )
 from repro.transport.multipath import AddressPlan, SendStrategy, plan_routes
 
@@ -95,6 +96,7 @@ class _PendingSend:
     route_index: int = 0
     attempts_on_route: int = 0
     rounds: int = 0  # parallel strategy: completed all-routes rounds
+    sends: int = 0  # total transmission rounds, for the transport.tx probe
     timer: TimerHandle | None = None
     done: bool = False
 
@@ -119,6 +121,8 @@ class ReliableUnicast:
         self.topology: Topology = network.topology
         self.config = config if config is not None else TransportConfig()
         self.stats: NodeStats = network.stats.for_node(node_id)
+        # Optional probe bus (repro.obs); None keeps the hot path probe-free.
+        self.probe = None
         self._receiver: ReceiveHandler | None = None
         self._msg_ids = itertools.count(1)
         self._pending: dict[int, _PendingSend] = {}
@@ -235,6 +239,21 @@ class ReliableUnicast:
         # live token object, whose wire size can change between the first
         # send and a retransmission (the model serializes at transmit time).
         size = frame_size(frame)
+        probe = self.probe
+        if probe is not None:
+            # The trace context is read from the live payload *now* — at
+            # transmit time — so it reflects exactly what this transmission
+            # carries (a retransmitted token may have changed underneath).
+            probe.emit(
+                self.node_id,
+                "transport.tx",
+                frame.dst_node,
+                frame.msg_id,
+                pending.sends,
+                type(frame.payload).__name__,
+                trace_context_of(frame.payload),
+            )
+        pending.sends += 1
         cfg = self.config
         if cfg.strategy is SendStrategy.PARALLEL:
             for src_addr, dst_addr in pending.plan.pairs:
@@ -282,6 +301,11 @@ class ReliableUnicast:
         pending.done = True
         if pending.timer is not None:
             pending.timer.cancel()
+        probe = self.probe
+        if probe is not None and not success:
+            probe.emit(
+                self.node_id, "transport.fail", pending.frame.dst_node, msg_id
+            )
         if pending.on_result is not None:
             pending.on_result(success)
 
@@ -302,6 +326,9 @@ class ReliableUnicast:
     def _on_ack(self, frame: AckFrame) -> None:
         if frame.dst_node != self.node_id:
             return
+        probe = self.probe
+        if probe is not None and frame.msg_id in self._pending:
+            probe.emit(self.node_id, "transport.ack", frame.src_node, frame.msg_id)
         self._finish(frame.msg_id, True)
 
     def _on_data(self, packet: Datagram, frame: DataFrame) -> None:
@@ -310,7 +337,11 @@ class ReliableUnicast:
         # Always (re-)ack on the reverse path: the original ack may be lost.
         ack = AckFrame(self.node_id, frame.src_node, frame.msg_id)
         self.network.send(packet.dst, packet.src, ack, _ACK_SIZE)
-        if self._is_duplicate(frame.src_node, frame.msg_id):
+        dup = self._is_duplicate(frame.src_node, frame.msg_id)
+        probe = self.probe
+        if probe is not None:
+            probe.emit(self.node_id, "transport.rx", frame.src_node, frame.msg_id, dup)
+        if dup:
             return
         if self._receiver is not None:
             self._receiver(frame.src_node, frame.payload)

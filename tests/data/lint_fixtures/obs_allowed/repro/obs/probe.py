@@ -1,0 +1,14 @@
+"""RC402 exemption fixture: repro/obs/ itself may construct ProbeEvent."""
+
+
+class ProbeEvent:
+    __slots__ = ("n", "at", "node", "kind", "args")
+
+
+class ProbeBus:
+    def emit(self, node, kind, *args):
+        event = ProbeEvent()
+        event.node = node
+        event.kind = kind
+        event.args = args
+        return event

@@ -1,0 +1,18 @@
+"""RC401 fixture: eager string formatting inside probe.emit() arguments."""
+
+
+class Node:
+    def __init__(self, probe, bus):
+        self.probe = probe
+        self.node_bus = bus
+
+    def hop(self, peer, seq):
+        probe = self.probe
+        if probe is not None:
+            probe.emit(self.node_id, "fd.arm", f"peer={peer}")  # BAD: f-string
+            probe.emit(self.node_id, "fd.arm", "seq=%d" % seq)  # BAD: %-format
+            probe.emit(self.node_id, "fd.arm", "{}".format(peer))  # BAD: .format
+            probe.emit(self.node_id, "fd.arm", peer, seq)  # ok: raw fields
+        self.node_bus.emit(self.node_id, "fd.fire", kind=f"x{seq}")  # BAD: kwarg
+        # Not a probe receiver: formatting is fine elsewhere.
+        self.log.emit(f"forwarding to {peer}")

@@ -1,0 +1,13 @@
+"""RC402 fixture: probe events timestamped outside the bus."""
+
+from repro.obs.probe import ProbeEvent
+
+
+def forge(loop, probe):
+    # BAD: hand-built event outside repro/obs/ can invent its timestamp.
+    event = ProbeEvent(1, 0.5, "A", "token.accept", ("B", "A.1", 3, 0))
+    # BAD: at= smuggles a caller-chosen timestamp into the emit call.
+    probe.emit("A", "core.wakeup", at=loop.now)
+    # ok: the bus stamps loop.now itself.
+    probe.emit("A", "core.wakeup")
+    return event

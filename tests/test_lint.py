@@ -51,6 +51,7 @@ def test_rule_catalogue_is_complete():
         "RC101", "RC102", "RC103", "RC104", "RC105",
         "RC201", "RC202", "RC203", "RC204",
         "RC301", "RC302",
+        "RC401", "RC402",
     }
     for rule in RULES.values():
         assert rule.scope in ("file", "project", "meta")
@@ -203,6 +204,28 @@ def test_rc301_rc302_only_apply_to_hot_modules(tmp_path):
     target = tmp_path / "coldpath.py"
     target.write_text(source, encoding="utf-8")
     report = lint_paths(target)
+    assert report.ok, format_human(report)
+
+
+# ----------------------------------------------------------------------
+# RC4xx — observability
+# ----------------------------------------------------------------------
+def test_rc401_eager_probe_formatting():
+    report = lint_paths(FIXTURES / "rc401_eager_probe.py")
+    assert fired(report) == {"RC401"}
+    # f-string, %-format, .format() on probe.emit + f-string kwarg on a
+    # *_bus receiver; raw-args emit and non-probe receivers stay clean.
+    assert count(report, "RC401") == 4
+
+
+def test_rc402_probe_event_outside_bus():
+    report = lint_paths(FIXTURES / "rc402_probe_event.py")
+    assert fired(report) == {"RC402"}
+    assert count(report, "RC402") == 2  # hand-built ProbeEvent + at= kwarg
+
+
+def test_rc402_allowed_inside_repro_obs():
+    report = lint_paths(FIXTURES / "obs_allowed", strict=True)
     assert report.ok, format_human(report)
 
 
