@@ -38,11 +38,13 @@ from repro.data import SharedDict
 from repro.metrics import Table
 from repro.metrics.analysis import duplicate_deliveries, prefix_consistency_violations
 from repro.obs import (
+    ContractMonitor,
     FlightRecorder,
     MetricsRegistry,
     ProbeMetrics,
     build_bundle,
     bundle_to_json,
+    paper_contract_rules,
 )
 
 __all__ = ["ChaosEngine", "RunResult", "CampaignResult", "run_campaign"]
@@ -59,6 +61,10 @@ class RunResult:
     stats: dict = field(default_factory=dict)
     #: Diagnostic bundle (repro.obs) built for failing runs; None when ok.
     bundle: dict | None = None
+    #: Contract-monitor alerts fired during the run (Alert.record() dicts).
+    #: Observational: alerts do not fail a run by themselves — the caller
+    #: decides (e.g. ``repro chaos --fail-on-alerts``, the CI clean gate).
+    alerts: list[dict] = field(default_factory=list)
 
     @property
     def seed(self) -> int:
@@ -137,7 +143,20 @@ class ChaosEngine:
         registry = MetricsRegistry()
         ProbeMetrics(bus, registry)
         dicts = {nid: SharedDict(cluster.node(nid)) for nid in self.ids}
+        # Contract monitor: the paper's SLO bounds, derived from the same
+        # config the cluster was provisioned with, watched live.  It must
+        # subscribe *before* formation (its view/uptime tracking is fed by
+        # node.state and view.change probes), but only starts ticking after,
+        # so bootstrap is not judged against steady-state bounds.  Purely
+        # observational: no probes, no RNG, no mutation.
+        contract = ContractMonitor(
+            bus,
+            paper_contract_rules(
+                cluster.config, params.nodes, segments=params.segments
+            ),
+        )
         cluster.start_all(form_time=30.0 + params.nodes)
+        contract.start()
         monitor = InvariantMonitor(
             cluster, interval=self.monitor_interval, strict=params.strict
         )
@@ -164,9 +183,12 @@ class ChaosEngine:
 
         converged = self._quiesce()
         monitor.stop()
+        contract.evaluate()  # final sweep at quiesce end
+        contract.stop()
 
         failure, detail = self._check(converged, monitor, dicts)
         stats = self._stats(monitor)
+        alerts = contract.alert_records()
         bundle = None
         if failure is not None:
             registry.capture_node_stats(cluster.stats)
@@ -186,6 +208,7 @@ class ChaosEngine:
                 },
                 metrics=registry.to_dict(),
                 schedule=json.loads(self.schedule.to_json()),
+                alerts=alerts,
             )
         recorder.close()
         return RunResult(
@@ -195,6 +218,7 @@ class ChaosEngine:
             detail=detail,
             stats=stats,
             bundle=bundle,
+            alerts=alerts,
         )
 
     # ------------------------------------------------------------------
@@ -457,6 +481,8 @@ def run_campaign(
         )
         result = ChaosEngine(schedule, **engine_opts).run()
         out.results.append(result)
+        if result.alerts:
+            say(f"  {len(result.alerts)} contract alert(s) fired")
         if result.ok:
             say(f"  clean ({result.stats['deliveries']} deliveries)")
             continue

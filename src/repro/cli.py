@@ -5,8 +5,11 @@ Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
 * ``info`` — package overview and experiment index;
 * ``quickstart`` — form a group, multicast, crash and rejoin a member;
 * ``trace`` — print a protocol event timeline for a short run;
-* ``obs`` — probe-bus observability: live summary, JSONL export, and
-  diagnostic-bundle rendering (docs/OBSERVABILITY.md);
+* ``obs`` — probe-bus observability: live summary, JSONL export,
+  diagnostic-bundle rendering, and trace diff (docs/OBSERVABILITY.md,
+  docs/MONITORING.md);
+* ``watch`` — run a cluster under the live contract monitor and stream
+  per-node SLO health (plain-text, redraw-free, CI-safe);
 * ``scaling`` — the Figure 3 Rainwall throughput sweep;
 * ``failover`` — the §3.2 cable-unplug experiment;
 * ``merge`` — split-brain and TBM merge walk-through;
@@ -53,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--limit", type=int, default=60)
     p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the rendered output; exit code only (CI use)",
+    )
+    p.add_argument(
         "--kinds",
         default="state,view,token,deliver,shutdown",
         help="comma-separated event kinds to show",
@@ -70,7 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "obs",
-        help="probe-bus observability: live summary, JSONL export, bundle render",
+        help=(
+            "probe-bus observability: live summary, JSONL export, bundle "
+            "render, trace diff"
+        ),
     )
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
 
@@ -121,6 +131,68 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument(
         "--span", metavar="ORIGIN#N",
         help="render the causal chain of one multicast span instead",
+    )
+
+    q = obs_sub.add_parser(
+        "diff",
+        help=(
+            "localize the first divergence between two probe exports "
+            "or diagnostic bundles"
+        ),
+    )
+    q.add_argument("left", metavar="LEFT", help="probe export (.jsonl) or bundle (.json)")
+    q.add_argument("right", metavar="RIGHT", help="probe export (.jsonl) or bundle (.json)")
+    q.add_argument(
+        "--context", type=int, default=3,
+        help="events of context around the divergence point (default 3)",
+    )
+    for q2 in obs_sub.choices.values():
+        q2.add_argument(
+            "--quiet", action="store_true",
+            help="suppress informational output; exit code only (CI use)",
+        )
+
+    p = sub.add_parser(
+        "watch",
+        help="live contract monitor: per-node SLO health during a run",
+    )
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--seconds", type=float, default=8.0, help="virtual run length")
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--segments", type=int, default=1)
+    p.add_argument(
+        "--report-every", type=float, default=1.0, metavar="S",
+        help="virtual seconds between status lines (default 1.0)",
+    )
+    p.add_argument(
+        "--spike-at", type=float, default=None, metavar="T",
+        help="inject delay spikes at virtual time T (known-bad demo/CI case)",
+    )
+    p.add_argument("--spike-prob", type=float, default=1.0)
+    p.add_argument("--spike-extra", type=float, default=0.035, metavar="S",
+                   help="extra one-way delay per spiked packet (default 0.035)")
+    p.add_argument(
+        "--blackout-at", type=float, default=None, metavar="T",
+        help="inject an ack blackout at virtual time T",
+    )
+    p.add_argument("--blackout-src", default=None, metavar="NODE")
+    p.add_argument("--blackout-dst", default=None, metavar="NODE")
+    p.add_argument("--blackout-duration", type=float, default=2.0)
+    p.add_argument(
+        "--detection-bound", type=float, default=None, metavar="S",
+        help="fd-latency bound (default: derived from the transport config)",
+    )
+    p.add_argument(
+        "--fail-on-alerts", action="store_true",
+        help="exit 1 if any contract alert fired (CI clean gate)",
+    )
+    p.add_argument(
+        "--expect-alerts", action="store_true",
+        help="exit 1 if NO contract alert fired (CI known-bad gate)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="only print fired alerts and the final summary",
     )
 
     p = sub.add_parser("scaling", help="Figure 3: Rainwall throughput sweep")
@@ -176,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--print-trace", action="store_true",
         help="print the generated (or replayed) schedule's JSON trace",
+    )
+    p.add_argument(
+        "--fail-on-alerts", action="store_true",
+        help="exit nonzero if any contract-monitor alert fired (CI clean gate)",
     )
 
     p = sub.add_parser(
@@ -282,6 +358,8 @@ def cmd_trace(args) -> int:
     cluster.node(ids[0]).multicast(b"traced")
     cluster.run(args.duration)
     kinds = set(args.kinds.split(","))
+    if args.quiet:
+        return 0
     if args.json:
         from repro.metrics.trace import events_to_json
 
@@ -295,26 +373,66 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _cli_error(message: str) -> int:
+    """Report a usage/load failure on stderr; exit code 2 (not a diff/run
+    verdict, which use 0/1)."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def cmd_obs(args) -> int:
+    quiet = getattr(args, "quiet", False)
     if args.obs_command == "render":
         from repro.obs import bundle_events, load_bundle, render_bundle, render_chain
 
-        bundle = load_bundle(args.bundle)
+        try:
+            bundle = load_bundle(args.bundle)
+        except ValueError as exc:
+            return _cli_error(str(exc))
         if args.span:
             origin, _, msg_no = args.span.partition("#")
-            print(render_chain(bundle_events(bundle), origin, int(msg_no)))
+            if not msg_no.isdigit():
+                return _cli_error(
+                    f"--span takes ORIGIN#N (a span id like n01#2), got {args.span!r}"
+                )
+            text = render_chain(bundle_events(bundle), origin, int(msg_no))
+            if not quiet:
+                print(text)
             return 0
         kinds = set(args.kinds.split(",")) if args.kinds else None
-        print(
-            render_bundle(
-                bundle,
-                swimlanes=args.swimlanes,
-                kinds=kinds,
-                node=args.node,
-                limit=args.limit,
-            )
+        text = render_bundle(
+            bundle,
+            swimlanes=args.swimlanes,
+            kinds=kinds,
+            node=args.node,
+            limit=args.limit,
         )
+        if not quiet:
+            print(text)
         return 0
+
+    if args.obs_command == "diff":
+        from repro.obs import first_divergence, load_events, render_divergence
+
+        try:
+            left = load_events(args.left)
+            right = load_events(args.right)
+        except ValueError as exc:
+            return _cli_error(str(exc))
+        divergence = first_divergence(left, right)
+        report = render_divergence(
+            left,
+            right,
+            divergence,
+            context=args.context,
+            left_label=args.left,
+            right_label=args.right,
+        )
+        if not quiet:
+            print(report)
+        elif divergence is not None:
+            print(divergence.describe())
+        return 0 if divergence is None else 1
 
     from repro.obs.scenario import run_quickstart
 
@@ -333,14 +451,23 @@ def cmd_obs(args) -> int:
             else events_to_jsonl(run.events)
         )
         if args.out:
-            with open(args.out, "w", encoding="utf-8") as fh:
-                fh.write(text + "\n")
-            print(f"{'metrics' if args.metrics else 'events'} written to {args.out}")
+            try:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text + "\n")
+            except OSError as exc:
+                return _cli_error(f"cannot write {args.out}: {exc}")
+            if not quiet:
+                print(
+                    f"{'metrics' if args.metrics else 'events'} "
+                    f"written to {args.out}"
+                )
         else:
             print(text)
         return 0
 
     # summary
+    if quiet:
+        return 0
     by_kind: dict[str, int] = {}
     by_node: dict[str, int] = {}
     for e in run.events:
@@ -364,6 +491,96 @@ def cmd_obs(args) -> int:
                 f"  {node}: n={s['count']} mean={s['mean'] * 1e3:.2f}ms "
                 f"p95={s.get('p95', 0.0) * 1e3:.2f}ms"
             )
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from repro.cluster.harness import RaincoreCluster
+    from repro.core.config import RaincoreConfig
+    from repro.obs import ContractMonitor, paper_contract_rules, render_alerts
+
+    ids = [f"n{i:02d}" for i in range(args.nodes)]
+    config = RaincoreConfig.tuned(ring_size=args.nodes)
+    cluster = RaincoreCluster(
+        ids, seed=args.seed, segments=args.segments, config=config
+    )
+    bus = cluster.enable_probes()
+    rules = paper_contract_rules(
+        config,
+        args.nodes,
+        segments=args.segments,
+        detection_bound=args.detection_bound,
+    )
+    monitor = ContractMonitor(bus, rules)
+    cluster.start_all()
+    monitor.start()
+    if not args.quiet:
+        print(
+            f"watching {args.nodes} nodes (seed={args.seed}, "
+            f"segments={args.segments}) under {len(rules)} contract rules "
+            f"for {args.seconds:g} virtual seconds"
+        )
+    if args.spike_at is not None:
+        cluster.loop.call_later(
+            args.spike_at,
+            cluster.faults.set_delay_spikes,
+            args.spike_prob,
+            args.spike_extra,
+        )
+        if not args.quiet:
+            print(
+                f"will inject delay spikes at t+{args.spike_at:g}s "
+                f"(prob={args.spike_prob:g}, extra={args.spike_extra:g}s)"
+            )
+    if args.blackout_at is not None:
+
+        def blackout() -> None:
+            # Default: silence the acks for some live token-forward edge —
+            # the receiver (src of the acks) is the ring successor of its
+            # forwarder (dst), resolved at injection time since ring order
+            # is seed-dependent.
+            src, dst = args.blackout_src, args.blackout_dst
+            if src is None or dst is None:
+                ring = cluster.node(ids[0]).members
+                if len(ring) < 2:
+                    ring = tuple(ids)
+                dst = dst if dst is not None else ring[0]
+                if src is None:
+                    src = ring[(ring.index(dst) + 1) % len(ring)]
+            print(
+                f"injecting ack blackout {src} -> {dst} "
+                f"for {args.blackout_duration:g}s"
+            )
+            cluster.faults.ack_blackout(src, dst, args.blackout_duration)
+
+        cluster.loop.call_later(args.blackout_at, blackout)
+        if not args.quiet:
+            print(f"will inject an ack blackout at t+{args.blackout_at:g}s")
+
+    seen_alerts = 0
+
+    def report() -> None:
+        nonlocal seen_alerts
+        fresh = monitor.alerts[seen_alerts:]
+        seen_alerts = len(monitor.alerts)
+        for alert in fresh:
+            print("ALERT " + alert.describe())
+        if not args.quiet:
+            print(monitor.status_line())
+        cluster.loop.call_later(args.report_every, report)
+
+    cluster.loop.call_later(args.report_every, report)
+    cluster.run(args.seconds)
+    monitor.evaluate()
+    monitor.stop()
+    for alert in monitor.alerts[seen_alerts:]:
+        print("ALERT " + alert.describe())
+    print(render_alerts(monitor.alerts))
+    if args.expect_alerts and not monitor.alerts:
+        print("expected at least one contract alert; none fired")
+        return 1
+    if args.fail_on_alerts and monitor.alerts:
+        return 1
     return 0
 
 
@@ -476,8 +693,13 @@ def cmd_chaos(args) -> int:
     from repro.chaos import ChaosEngine, Schedule, run_campaign, shrink_schedule
 
     if args.replay:
-        with open(args.replay, encoding="utf-8") as fh:
-            schedule = Schedule.from_json(fh.read())
+        try:
+            with open(args.replay, encoding="utf-8") as fh:
+                schedule = Schedule.from_json(fh.read())
+        except OSError as exc:
+            return _cli_error(f"cannot read trace {args.replay}: {exc}")
+        except ValueError as exc:
+            return _cli_error(f"{args.replay} is not a chaos trace: {exc}")
         params = schedule.params
         if args.print_trace:
             print(schedule.to_json(), end="")
@@ -487,8 +709,15 @@ def cmd_chaos(args) -> int:
             f"ops={len(schedule.ops)}"
         )
         result = ChaosEngine(schedule).run()
+        if result.alerts:
+            from repro.obs import render_alerts
+
+            print(render_alerts(result.alerts))
         if result.ok:
             print(f"clean ({result.stats['deliveries']} deliveries)")
+            if args.fail_on_alerts and result.alerts:
+                print("failing: contract alerts fired (--fail-on-alerts)")
+                return 1
             return 0
         print(f"FAILED [{result.failure}] {result.detail}")
         if result.bundle is not None:
@@ -550,6 +779,12 @@ def cmd_chaos(args) -> int:
         print("artifacts:")
         for path in campaign.artifacts:
             print(f"  {path}")
+    alerted = sum(len(r.alerts) for r in campaign.results)
+    if alerted:
+        print(f"contract alerts across campaign: {alerted}")
+        if args.fail_on_alerts:
+            print("failing: contract alerts fired (--fail-on-alerts)")
+            return 1
     return 0 if campaign.ok else 1
 
 
@@ -613,6 +848,7 @@ _COMMANDS = {
     "quickstart": cmd_quickstart,
     "trace": cmd_trace,
     "obs": cmd_obs,
+    "watch": cmd_watch,
     "scaling": cmd_scaling,
     "failover": cmd_failover,
     "merge": cmd_merge,

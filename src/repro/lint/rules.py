@@ -13,10 +13,12 @@ Three families (full prose in docs/DETERMINISM.md):
   ``__slots__``; no ``copy.deepcopy`` on the token/datagram hot path.
 * **RC4xx observability** — probe emissions stay cheap and deterministic:
   no eager string formatting in ``probe.emit(...)`` argument lists (the
-  probe catalogue formats lazily at render time), and probe events are
+  probe catalogue formats lazily at render time), probe events are
   stamped with sim time by the bus alone — no hand-built
   :class:`~repro.obs.probe.ProbeEvent` outside ``repro/obs/``, no ``at=``
-  smuggled into an emit call.
+  smuggled into an emit call — and contract-monitor rules registered via
+  ``@contract_rule`` stay pure functions of their window (no wall clock,
+  no ambient state, no mutation).
 
 RC0xx are meta findings emitted by the engine itself (parse failures and
 pragma hygiene); they are registered here so ``--list-rules`` and pragma
@@ -577,3 +579,86 @@ def check_probe_sim_time(ctx: FileContext) -> Iterator[FileFinding]:
                         "time (loop.now) itself; call sites must not "
                         "supply timestamps",
                     )
+
+
+def _is_contract_rule_decorator(ctx: FileContext, deco: ast.AST) -> bool:
+    """True for ``@contract_rule("...")`` (bare or dotted, any alias)."""
+    if isinstance(deco, ast.Call):
+        deco = deco.func
+    name = ctx.resolve(deco)
+    return name is not None and name.split(".")[-1] == "contract_rule"
+
+
+@rule("RC403", "contract-monitor rule reads ambient state (impure)")
+def check_monitor_rule_purity(ctx: FileContext) -> Iterator[FileFinding]:
+    """Functions registered with ``@contract_rule`` must be pure.
+
+    The monitor evaluates the same rule over live probe streams and over
+    replayed/exported ones, and ``repro obs diff`` assumes both produce
+    the same alerts.  That only holds if a rule is a pure function of its
+    :class:`~repro.obs.monitor.RuleWindow`: no wall clock or entropy, no
+    ``global``/``nonlocal`` escape hatches, no attribute writes (mutating
+    shared state across evaluations), and no ambient ``.now`` reads — the
+    window's ``start``/``end`` are the only clock a rule may consult.
+    """
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not any(
+            _is_contract_rule_decorator(ctx, d) for d in fn.decorator_list
+        ):
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                name = ctx.resolve(node.func)
+                if name in _WALL_CLOCK or name in _ENTROPY:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"{name}() inside contract rule {fn.name}: rules "
+                        "are re-evaluated on replay and must be pure "
+                        "functions of the RuleWindow",
+                    )
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                keyword = (
+                    "global" if isinstance(node, ast.Global) else "nonlocal"
+                )
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"{keyword} in contract rule {fn.name}: rules must not "
+                    "carry state between evaluations — derive everything "
+                    "from the RuleWindow",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    elts = (
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for elt in elts:
+                        if isinstance(elt, ast.Attribute):
+                            yield (
+                                elt.lineno,
+                                elt.col_offset,
+                                f"attribute write in contract rule "
+                                f"{fn.name}: mutating ambient state makes "
+                                "live and replayed alert streams disagree",
+                            )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "now"
+                and isinstance(node.ctx, ast.Load)
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f".now read in contract rule {fn.name}: the window's "
+                    "start/end are the only clock a rule may consult",
+                )

@@ -1,6 +1,6 @@
 """repro.obs — deterministic cross-layer observability.
 
-Four pieces (docs/OBSERVABILITY.md):
+Six pieces (docs/OBSERVABILITY.md, docs/MONITORING.md):
 
 * :mod:`repro.obs.probe` — the probe bus: typed, zero-cost-when-disabled
   event emission from every layer, with the probe catalogue.
@@ -8,10 +8,31 @@ Four pieces (docs/OBSERVABILITY.md):
   windowing, unifying the ad-hoc ``NodeStats`` counters into one export.
 * :mod:`repro.obs.recorder` — the flight recorder (bounded per-node event
   rings) and failure-time diagnostic bundles.
+* :mod:`repro.obs.monitor` — the contract monitor: a live SLO rules
+  engine evaluating the paper's overhead bounds over the probe stream.
+* :mod:`repro.obs.diff` — trace diff: first-divergence localization
+  between two probe exports or bundles.
 * :mod:`repro.obs.scenario` — the shared quickstart scenario used by the
   ``repro obs`` CLI and the determinism tests.
 """
 
+from repro.obs.diff import (
+    Divergence,
+    canonical_records,
+    first_divergence,
+    load_events,
+    render_divergence,
+)
+from repro.obs.monitor import (
+    CONTRACT_RULES,
+    Alert,
+    ContractMonitor,
+    RuleSpec,
+    RuleWindow,
+    contract_rule,
+    paper_contract_rules,
+    render_alerts,
+)
 from repro.obs.probe import (
     PROBE_CATALOG,
     ProbeBus,
@@ -23,6 +44,7 @@ from repro.obs.probe import (
 )
 from repro.obs.recorder import (
     BUNDLE_SCHEMA,
+    SUPPORTED_SCHEMAS,
     FlightRecorder,
     build_bundle,
     bundle_events,
@@ -50,6 +72,7 @@ __all__ = [
     "events_to_jsonl",
     "format_event",
     "BUNDLE_SCHEMA",
+    "SUPPORTED_SCHEMAS",
     "FlightRecorder",
     "build_bundle",
     "bundle_events",
@@ -64,4 +87,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ProbeMetrics",
+    "CONTRACT_RULES",
+    "Alert",
+    "ContractMonitor",
+    "RuleSpec",
+    "RuleWindow",
+    "contract_rule",
+    "paper_contract_rules",
+    "render_alerts",
+    "Divergence",
+    "canonical_records",
+    "first_divergence",
+    "load_events",
+    "render_divergence",
 ]

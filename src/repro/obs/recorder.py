@@ -31,6 +31,7 @@ from repro.obs.probe import (
 
 __all__ = [
     "BUNDLE_SCHEMA",
+    "SUPPORTED_SCHEMAS",
     "FlightRecorder",
     "build_bundle",
     "bundle_to_json",
@@ -43,7 +44,23 @@ __all__ = [
 ]
 
 #: Bundle format identifier; bump on incompatible layout changes.
-BUNDLE_SCHEMA = "repro.obs.bundle/1"
+#: /2 added the ``alerts`` section (contract-monitor Alert records).
+BUNDLE_SCHEMA = "repro.obs.bundle/2"
+
+#: Schemas :func:`load_bundle` accepts.  /1 bundles (pre-monitor) load
+#: with an empty ``alerts`` section so downstream readers see one shape.
+SUPPORTED_SCHEMAS = ("repro.obs.bundle/1", "repro.obs.bundle/2")
+
+#: Sections every bundle must carry (``alerts`` is backfilled for /1).
+_REQUIRED_SECTIONS = (
+    "reason",
+    "detail",
+    "at",
+    "nodes",
+    "context",
+    "events",
+    "metrics",
+)
 
 
 class FlightRecorder:
@@ -102,13 +119,16 @@ def build_bundle(
     context: dict | None = None,
     metrics: dict | None = None,
     schedule: dict | None = None,
+    alerts: list[dict] | None = None,
 ) -> dict:
     """Assemble one self-contained diagnostic bundle.
 
     ``reason`` is the machine-readable failure class (e.g.
     ``"invariant:token-uniqueness"``); ``context`` carries free-form
-    deterministic metadata (seed, scenario name, node states).  All keys
-    are sorted at dump time, so equal inputs give equal bytes.
+    deterministic metadata (seed, scenario name, node states); ``alerts``
+    are contract-monitor Alert records (``Alert.record()``) fired before
+    the bundle was cut — *which contract broke first*.  All keys are
+    sorted at dump time, so equal inputs give equal bytes.
     """
     ordered = sorted(events, key=lambda e: e.n)
     nodes = sorted({e.node for e in ordered})
@@ -122,6 +142,7 @@ def build_bundle(
         "events": [event_record(e) for e in ordered],
         "metrics": metrics if metrics is not None else {},
         "schedule": schedule,
+        "alerts": alerts if alerts is not None else [],
     }
 
 
@@ -139,10 +160,47 @@ def dump_bundle(bundle: dict, path: str | Path) -> Path:
 
 
 def load_bundle(path: str | Path) -> dict:
-    bundle = json.loads(Path(path).read_text())
+    """Load and validate a diagnostic bundle.
+
+    Accepts every schema in :data:`SUPPORTED_SCHEMAS`; /1 bundles gain an
+    empty ``alerts`` section so downstream readers see one shape.  Every
+    failure mode — unreadable file, malformed JSON, foreign or unknown
+    schema, missing sections — raises ``ValueError`` naming the path and
+    the problem, never a bare ``KeyError``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValueError(f"cannot read bundle {path}: {exc}") from exc
+    try:
+        bundle = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not JSON ({exc.msg})") from exc
+    if not isinstance(bundle, dict):
+        raise ValueError(
+            f"{path} is not a diagnostic bundle (top level is "
+            f"{type(bundle).__name__}, expected an object)"
+        )
     schema = bundle.get("schema")
-    if schema != BUNDLE_SCHEMA:
-        raise ValueError(f"not a diagnostic bundle (schema={schema!r})")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ValueError(
+            f"{path} is not a diagnostic bundle (schema={schema!r}, "
+            f"supported: {', '.join(SUPPORTED_SCHEMAS)})"
+        )
+    missing = [key for key in _REQUIRED_SECTIONS if key not in bundle]
+    if missing:
+        raise ValueError(
+            f"{path}: bundle (schema {schema}) is missing required "
+            f"section(s): {', '.join(missing)}"
+        )
+    if not isinstance(bundle["events"], list):
+        raise ValueError(
+            f"{path}: bundle 'events' must be a list, got "
+            f"{type(bundle['events']).__name__}"
+        )
+    if schema == "repro.obs.bundle/1":
+        bundle.setdefault("alerts", [])
     return bundle
 
 
@@ -197,6 +255,15 @@ def render_bundle(
         body = render_swimlanes(traced, bundle["nodes"], limit=limit)
     else:
         body = render_timeline(traced, limit=limit)
+    alerts = bundle.get("alerts") or []
+    if alerts:
+        lines = [f"contract alerts ({len(alerts)}):"]
+        for a in alerts:
+            lines.append(
+                f"  [{a['severity']}] {a['rule']} node={a['node']} "
+                f"at={a['at']:.3f}s: {a['detail']}"
+            )
+        return header + "\n" + "\n".join(lines) + "\n" + body
     return header + "\n" + body
 
 

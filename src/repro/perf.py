@@ -27,6 +27,10 @@ Metrics (all higher-is-better except ``wall_clock_per_sim_second``):
   probes-disabled cost itself is covered by ``loaded_ring_events_per_sec``:
   a disabled probe is one attribute load and a None test, so any
   measurable regression there would trip the existing rate gate.
+* ``monitor_overhead_ratio`` — wall-clock cost of the same probed ring
+  with the contract monitor evaluating the full paper rule set on top,
+  relative to probes + recorder alone (lower is better; isolates what the
+  *rules engine* adds over the instrumentation it rides on).
 
 ``repro bench`` (see :mod:`repro.cli`) runs the suite, writes a JSON
 report, and can gate on a committed baseline with a relative tolerance.
@@ -44,6 +48,7 @@ __all__ = [
     "bench_event_loop",
     "bench_loaded_ring",
     "bench_probe_overhead",
+    "bench_monitor_overhead",
     "run_suite",
     "write_report",
     "compare",
@@ -55,7 +60,11 @@ FULL = {"loop_events": 50_000, "ring_sim_seconds": 1.0, "repeats": 5}
 QUICK = {"loop_events": 10_000, "ring_sim_seconds": 0.5, "repeats": 3}
 
 #: Metrics where smaller values are improvements.
-_LOWER_IS_BETTER = {"wall_clock_per_sim_second", "probe_overhead_ratio"}
+_LOWER_IS_BETTER = {
+    "wall_clock_per_sim_second",
+    "probe_overhead_ratio",
+    "monitor_overhead_ratio",
+}
 
 
 def bench_event_loop(n_events: int) -> float:
@@ -133,6 +142,45 @@ def bench_probe_overhead(sim_seconds: float) -> float:
     return enabled / disabled
 
 
+def bench_monitor_overhead(sim_seconds: float) -> float:
+    """Contract-monitor overhead ratio over the probed reference ring.
+
+    Runs the probed :func:`bench_loaded_ring` workload (bus + flight
+    recorder, the ``probe_overhead_ratio`` numerator) twice — with and
+    without a :class:`~repro.obs.monitor.ContractMonitor` evaluating the
+    full paper rule set — and returns ``monitored_wall / probed_wall``:
+    what *watching* the contracts costs on top of emitting the probes.
+    """
+    from repro.cluster.harness import RaincoreCluster
+    from repro.core.config import RaincoreConfig
+
+    def one_run(monitored: bool) -> float:
+        config = RaincoreConfig.tuned(ring_size=8, hop_interval=0.005)
+        cluster = RaincoreCluster(
+            [f"n{i}" for i in range(8)], seed=2, config=config
+        )
+        from repro.obs import ContractMonitor, FlightRecorder, paper_contract_rules
+
+        bus = cluster.enable_probes()
+        FlightRecorder(bus)
+        monitor = None
+        if monitored:
+            monitor = ContractMonitor(bus, paper_contract_rules(config, 8))
+        cluster.start_all()
+        if monitor is not None:
+            monitor.start()
+        for i in range(50):
+            cluster.node(f"n{i % 8}").multicast(f"m{i}", size=200)
+        t0 = time.perf_counter()
+        cluster.run(sim_seconds)
+        t1 = time.perf_counter()
+        return t1 - t0
+
+    probed = one_run(False)
+    monitored = one_run(True)
+    return monitored / probed
+
+
 def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]:
     """Run all benchmarks and return a report dict (see ``write_report``).
 
@@ -152,6 +200,9 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
     best_overhead = min(
         bench_probe_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
     )
+    best_monitor = min(
+        bench_monitor_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
+    )
     return {
         "schema": 1,
         "quick": quick,
@@ -168,6 +219,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
             "token_hops_per_sec": round(hops_per_s),
             "wall_clock_per_sim_second": round(wall_per_sim, 6),
             "probe_overhead_ratio": round(best_overhead, 4),
+            "monitor_overhead_ratio": round(best_monitor, 4),
         },
     }
 

@@ -1,0 +1,23 @@
+"""RC403 clean counterpart: a pure contract rule passes even strict.
+
+Local mutation (variables, dicts built inside the call) is fine — the
+purity contract only forbids state that outlives one evaluation.
+"""
+
+from repro.obs.monitor import contract_rule
+
+
+@contract_rule("pure-rule")
+def check_pure(w):
+    armed = {}
+    worst = 0.0
+    for event in w.kinds("fd.arm"):
+        armed[(event.args[0], event.args[1])] = event.at
+    for event in w.kinds("fd.fire"):
+        started = armed.pop((event.args[0], event.args[1]), None)
+        if started is not None:
+            worst = max(worst, event.at - started)
+    bound = w.params.get("bound", 0.15)
+    if worst > bound:
+        return (w.start, worst, f"fd latency {worst:.3f}s > {bound:.3f}s")
+    return None

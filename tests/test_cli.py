@@ -95,3 +95,183 @@ def test_hierarchy_command(capsys):
     assert code == 0
     assert "top ring" in out
     assert "reached 4/4" in out
+
+
+# ----------------------------------------------------------------------
+# obs: exit codes, --quiet, diff
+# ----------------------------------------------------------------------
+def export_probes(capsys, path, seed):
+    code, out = run_cli(
+        capsys,
+        "obs",
+        "export",
+        "--seed",
+        str(seed),
+        "--duration",
+        "0.3",
+        "--no-crash",
+        "--out",
+        str(path),
+    )
+    assert code == 0
+    return path
+
+
+def test_obs_diff_identical_exports_exit_zero(capsys, tmp_path):
+    a = export_probes(capsys, tmp_path / "a.jsonl", seed=5)
+    b = export_probes(capsys, tmp_path / "b.jsonl", seed=5)
+    code, out = run_cli(capsys, "obs", "diff", str(a), str(b))
+    assert code == 0
+    assert "no divergence" in out
+
+
+def test_obs_diff_divergence_exits_one(capsys, tmp_path):
+    a = export_probes(capsys, tmp_path / "a.jsonl", seed=5)
+    b = export_probes(capsys, tmp_path / "b.jsonl", seed=6)
+    code, out = run_cli(capsys, "obs", "diff", str(a), str(b))
+    assert code == 1
+    assert "first divergence at event #" in out
+    # --quiet keeps the verdict line (and the exit code) only.
+    code, out = run_cli(capsys, "obs", "diff", "--quiet", str(a), str(b))
+    assert code == 1
+    assert out.startswith("first divergence at event #")
+    assert len(out.strip().splitlines()) == 1
+
+
+def test_obs_diff_load_failure_exits_two(capsys, tmp_path):
+    a = export_probes(capsys, tmp_path / "a.jsonl", seed=5)
+    code = main(["obs", "diff", str(a), str(tmp_path / "missing.jsonl")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+    assert "missing.jsonl" in captured.err
+
+
+def test_obs_render_missing_bundle_exits_two(capsys, tmp_path):
+    code = main(["obs", "render", str(tmp_path / "no-such.bundle.json")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error: cannot read bundle" in captured.err
+
+
+def test_obs_render_corrupt_bundle_exits_two(capsys, tmp_path):
+    bad = tmp_path / "corrupt.bundle.json"
+    bad.write_text("{not json")
+    code = main(["obs", "render", str(bad)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "not JSON" in captured.err
+
+
+def test_obs_render_bad_span_exits_two(capsys, tmp_path):
+    from repro.obs import build_bundle, dump_bundle
+
+    path = dump_bundle(
+        build_bundle("manual", at=0.0), tmp_path / "ok.bundle.json"
+    )
+    code = main(["obs", "render", str(path), "--span", "nonsense"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--span takes ORIGIN#N" in captured.err
+
+
+def test_trace_quiet_suppresses_output(capsys):
+    code, out = run_cli(capsys, "trace", "--duration", "0.05", "--quiet")
+    assert code == 0
+    assert out == ""
+
+
+def test_obs_export_quiet_still_writes_file(capsys, tmp_path):
+    out_path = tmp_path / "quiet.jsonl"
+    code, out = run_cli(
+        capsys,
+        "obs",
+        "export",
+        "--seed",
+        "5",
+        "--duration",
+        "0.3",
+        "--no-crash",
+        "--quiet",
+        "--out",
+        str(out_path),
+    )
+    assert code == 0
+    assert out == ""
+    assert out_path.read_text().strip()
+
+
+# ----------------------------------------------------------------------
+# watch: the live contract-monitor view
+# ----------------------------------------------------------------------
+def test_watch_clean_run_gates_green(capsys):
+    code, out = run_cli(
+        capsys,
+        "watch",
+        "--seconds",
+        "5",
+        "--seed",
+        "11",
+        "--fail-on-alerts",
+    )
+    assert code == 0
+    assert "no contract alerts" in out
+    assert "t=" in out  # the periodic status feed ran
+    assert "ALERT" not in out
+
+
+def test_watch_known_bad_spike_schedule_fires(capsys):
+    code, out = run_cli(
+        capsys,
+        "watch",
+        "--seconds",
+        "6",
+        "--seed",
+        "11",
+        "--spike-at",
+        "2",
+        "--expect-alerts",
+    )
+    assert code == 0  # --expect-alerts inverts the gate
+    assert "ALERT" in out
+    assert "token-rate" in out
+
+
+def test_watch_fail_on_alerts_exits_one(capsys):
+    code, out = run_cli(
+        capsys,
+        "watch",
+        "--seconds",
+        "6",
+        "--seed",
+        "11",
+        "--spike-at",
+        "2",
+        "--fail-on-alerts",
+    )
+    assert code == 1
+    assert "ALERT" in out
+
+
+def test_watch_expect_alerts_on_clean_run_exits_one(capsys):
+    code, out = run_cli(
+        capsys, "watch", "--seconds", "4", "--seed", "11", "--expect-alerts"
+    )
+    assert code == 1
+    assert "expected at least one contract alert" in out
+
+
+def test_chaos_replay_missing_trace_exits_two(capsys, tmp_path):
+    code = main(["chaos", "--replay", str(tmp_path / "no-such-trace.json")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error: cannot read trace" in captured.err
+
+
+def test_chaos_replay_malformed_trace_exits_two(capsys, tmp_path):
+    bad = tmp_path / "bad-trace.json"
+    bad.write_text('{"format": "something-else"}')
+    code = main(["chaos", "--replay", str(bad)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "is not a chaos trace" in captured.err

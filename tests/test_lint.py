@@ -51,7 +51,7 @@ def test_rule_catalogue_is_complete():
         "RC101", "RC102", "RC103", "RC104", "RC105",
         "RC201", "RC202", "RC203", "RC204",
         "RC301", "RC302",
-        "RC401", "RC402",
+        "RC401", "RC402", "RC403",
     }
     for rule in RULES.values():
         assert rule.scope in ("file", "project", "meta")
@@ -226,6 +226,30 @@ def test_rc402_probe_event_outside_bus():
 
 def test_rc402_allowed_inside_repro_obs():
     report = lint_paths(FIXTURES / "obs_allowed", strict=True)
+    assert report.ok, format_human(report)
+
+
+def test_rc403_impure_contract_rule():
+    report = lint_paths(FIXTURES / "rc403_impure_rule.py")
+    # The wall-clock reads also (correctly) trip RC101; RC403 adds the
+    # rule-purity findings on top.
+    assert fired(report) == {"RC101", "RC403"}
+    # 2 wall-clock calls + global + attribute write + ambient .now read;
+    # local/subscript mutation and the undecorated helper stay clean.
+    assert count(report, "RC403") == 5
+
+
+def test_rc403_pure_rule_is_clean_even_strict():
+    report = lint_paths(FIXTURES / "rc403_pure_rule.py", strict=True)
+    assert report.ok, format_human(report)
+
+
+def test_rc403_builtin_monitor_rules_self_host():
+    # The shipped paper-contract rules must satisfy their own purity bar.
+    report = lint_paths(
+        ROOT / "src" / "repro" / "obs" / "monitor.py",
+        select=frozenset({"RC403"}),
+    )
     assert report.ok, format_human(report)
 
 

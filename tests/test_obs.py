@@ -227,7 +227,8 @@ def test_failing_chaos_run_builds_bundle(tmp_path):
     assert result.failure == "invariant:token-uniqueness"
     bundle = result.bundle
     assert bundle is not None
-    assert bundle["schema"] == "repro.obs.bundle/1"
+    assert bundle["schema"] == "repro.obs.bundle/2"
+    assert isinstance(bundle["alerts"], list)
     assert bundle["reason"] == result.failure
     assert bundle["nodes"] == ["n00", "n01", "n02", "n03"]
     assert bundle["context"]["seed"] == 21
@@ -264,5 +265,82 @@ def test_bundle_is_byte_identical_across_same_seed_runs():
 def test_load_bundle_rejects_foreign_json(tmp_path):
     path = tmp_path / "not-a-bundle.json"
     path.write_text('{"schema": "something/else"}')
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="supported"):
         load_bundle(path)
+
+
+def test_load_bundle_failures_are_named_valueerrors(tmp_path):
+    """Every corrupt-bundle shape raises ValueError naming the problem —
+    never a bare KeyError/JSONDecodeError leaking to the caller."""
+    missing = tmp_path / "no-such.bundle.json"
+    with pytest.raises(ValueError, match="cannot read bundle"):
+        load_bundle(missing)
+
+    not_json = tmp_path / "truncated.bundle.json"
+    not_json.write_text('{"schema": "repro.obs.bundle/2", "events": [')
+    with pytest.raises(ValueError, match="not JSON"):
+        load_bundle(not_json)
+
+    not_dict = tmp_path / "list.bundle.json"
+    not_dict.write_text('[1, 2, 3]')
+    with pytest.raises(ValueError, match="top level is list"):
+        load_bundle(not_dict)
+
+    gutted = tmp_path / "gutted.bundle.json"
+    gutted.write_text('{"schema": "repro.obs.bundle/2", "reason": "x"}')
+    with pytest.raises(ValueError, match="missing required section"):
+        load_bundle(gutted)
+
+    bad_events = tmp_path / "bad-events.bundle.json"
+    bad_events.write_text(
+        '{"schema": "repro.obs.bundle/2", "reason": "x", "detail": "",'
+        ' "at": 0, "nodes": [], "context": {}, "events": {}, "metrics": {}}'
+    )
+    with pytest.raises(ValueError, match="must be a list"):
+        load_bundle(bad_events)
+
+
+def test_load_bundle_accepts_v1_and_backfills_alerts(tmp_path):
+    path = tmp_path / "old.bundle.json"
+    path.write_text(
+        '{"schema": "repro.obs.bundle/1", "reason": "x", "detail": "",'
+        ' "at": 0, "nodes": [], "context": {}, "events": [], "metrics": {}}'
+    )
+    bundle = load_bundle(path)
+    assert bundle["schema"] == "repro.obs.bundle/1"
+    assert bundle["alerts"] == []  # one shape for downstream readers
+
+
+# ----------------------------------------------------------------------
+# registry window edges
+# ----------------------------------------------------------------------
+def test_histogram_empty_window_summary():
+    h = Histogram("A", "x", window=16)
+    assert h.window_values() == []
+    assert h.percentile(0.5) == 0.0
+    s = h.summary()
+    assert s["count"] == 0 and s["window_count"] == 0
+    assert s["min"] == 0.0 and s["max"] == 0.0
+    assert "p50" not in s  # no invented percentiles for an empty window
+
+
+def test_histogram_window_boundary_is_inclusive():
+    h = Histogram("A", "x", window=16)
+    h.observe(1.0, 10.0)
+    h.observe(2.0, 20.0)
+    h.observe(3.0, 30.0)
+    # An event exactly at the since= cut belongs to the window (at >= since).
+    assert h.window_values(since=2.0) == [20.0, 30.0]
+    assert h.window_values(since=2.0 + 1e-12) == [30.0]
+    assert h.summary(since=3.0)["window_count"] == 1
+
+
+def test_histogram_single_sample_percentiles():
+    h = Histogram("A", "x", window=16)
+    h.observe(0.5, 42.0)
+    # Every percentile of a one-sample window is that sample.
+    for q in (0.0, 0.5, 0.95, 1.0):
+        assert h.percentile(q) == 42.0
+    s = h.summary()
+    assert s["p50"] == 42.0 and s["p95"] == 42.0
+    assert s["window_count"] == 1

@@ -1,0 +1,137 @@
+"""Tests for repro.obs.diff: trace alignment and divergence localization.
+
+The diff is the investigative half of the observability contract: when a
+"replay mismatch" arrives as thousands of differing JSONL bytes, the
+first differing event — located by (sim-time, node, kind) — is where the
+causal analysis starts; everything after it is cascade.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    bundle_events,
+    events_to_jsonl,
+    first_divergence,
+    load_events,
+    render_divergence,
+)
+from repro.obs.probe import event_record
+from repro.obs.scenario import run_quickstart
+
+
+def quickstart_events(seed=5):
+    return run_quickstart(nodes=3, seed=seed, duration=0.5, crash=False).events
+
+
+# ----------------------------------------------------------------------
+# divergence localization
+# ----------------------------------------------------------------------
+def test_identical_streams_have_no_divergence():
+    a, b = quickstart_events(), quickstart_events()
+    assert len(a) > 100  # a non-trivial stream, not a toy
+    assert first_divergence(a, b) is None
+    report = render_divergence(a, b, None)
+    assert report == f"no divergence: {len(a)} events identical"
+
+
+def test_single_injected_event_is_localized_exactly():
+    a, b = quickstart_events(), quickstart_events()
+    records = [event_record(e) for e in b]
+    forged = dict(records[40])
+    forged["kind"] = "core.wakeup"
+    forged["args"] = []
+    records[40] = forged
+    divergence = first_divergence(a, records)
+    assert divergence is not None
+    assert divergence.index == 40
+    assert divergence.kind == event_record(a[40])["kind"]  # anchored on left
+    assert divergence.at == event_record(a[40])["at"]
+    assert divergence.left == event_record(a[40])
+    assert divergence.right == forged
+    assert "#40" in divergence.describe()
+
+
+def test_truncated_stream_diverges_at_end_of_prefix():
+    a = quickstart_events()
+    b = a[: len(a) - 25]
+    divergence = first_divergence(a, b)
+    assert divergence is not None
+    assert divergence.index == len(b)
+    assert divergence.right is None  # right stream ended
+    report = render_divergence(a, b, divergence)
+    assert "(end of stream)" in report
+
+
+def test_different_seeds_diverge_and_render_two_columns():
+    a, b = quickstart_events(seed=5), quickstart_events(seed=6)
+    divergence = first_divergence(a, b)
+    assert divergence is not None
+    report = render_divergence(a, b, divergence, context=2)
+    assert report.splitlines()[0] == divergence.describe()
+    assert "! L " in report and "! R " in report
+    # The shared prefix really is shared: streams agree up to the index.
+    assert [event_record(e) for e in a[: divergence.index]] == [
+        event_record(e) for e in b[: divergence.index]
+    ]
+    assert event_record(a[divergence.index]) != event_record(
+        b[divergence.index]
+    )
+
+
+def test_divergence_in_first_event():
+    a = [event_record(e) for e in quickstart_events()]
+    b = [dict(a[0], node="zz")] + a[1:]
+    divergence = first_divergence(a, b)
+    assert divergence is not None and divergence.index == 0
+    # No "shared prefix" section when nothing is shared.
+    assert "shared prefix" not in render_divergence(a, b, divergence)
+
+
+# ----------------------------------------------------------------------
+# load_events: format sniffing and failure modes
+# ----------------------------------------------------------------------
+def test_load_events_reads_jsonl_and_bundles_identically(tmp_path):
+    result = run_quickstart(nodes=3, seed=5, duration=0.5, crash=False)
+    jsonl = tmp_path / "run.probes.jsonl"
+    jsonl.write_text(events_to_jsonl(result.events))
+
+    from repro.obs import build_bundle, dump_bundle
+
+    bundle = build_bundle(
+        "manual", detail="", at=0.5, events=result.events, context={}
+    )
+    bundle_path = dump_bundle(bundle, tmp_path / "run.bundle.json")
+
+    from_jsonl = load_events(jsonl)
+    from_bundle = load_events(bundle_path)
+    assert from_jsonl == from_bundle
+    assert first_divergence(from_jsonl, bundle_events(bundle)) is None
+
+
+def test_load_events_failure_modes(tmp_path):
+    with pytest.raises(ValueError, match="cannot read"):
+        load_events(tmp_path / "missing.jsonl")
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n\n")
+    with pytest.raises(ValueError, match="empty"):
+        load_events(empty)
+
+    bad_line = tmp_path / "bad.jsonl"
+    bad_line.write_text('{"n": 1, "at": 0.0, "node": "A", "kind": "core.wakeup", "args": []}\nnot json\n')
+    with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+        load_events(bad_line)
+
+    not_events = tmp_path / "records.jsonl"
+    not_events.write_text('{"metric": "x", "value": 1}\n')
+    with pytest.raises(ValueError, match="not a probe event record"):
+        load_events(not_events)
+
+    foreign_bundle = tmp_path / "foreign.json"
+    foreign_bundle.write_text(json.dumps({"schema": "other/1", "events": []}))
+    with pytest.raises(ValueError, match="supported"):
+        load_events(foreign_bundle)

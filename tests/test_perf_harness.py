@@ -17,6 +17,7 @@ def test_run_suite_quick_reports_all_metrics():
         "token_hops_per_sec",
         "wall_clock_per_sim_second",
         "probe_overhead_ratio",
+        "monitor_overhead_ratio",
     }
     assert all(v > 0 for v in metrics.values())
     assert report["quick"] is True
