@@ -279,6 +279,20 @@ class ChaosEngine:
             faults.partition(*[list(group) for group in a])
         elif k == "heal_partition":
             faults.heal_partition()
+        elif k == "long_partition":
+            # The resync soak primitive: isolate the named nodes from the
+            # rest for a *long* window (typically many times the resync
+            # byte budget's worth of traffic), then heal.  The heal is
+            # scheduled here rather than as a separate op so a shrunk
+            # trace can never strand the cluster partitioned.
+            isolated = [n for n in a[0] if n in self.ids]
+            rest = [n for n in self.ids if n not in isolated]
+            if isolated and rest:
+                faults.partition(isolated, rest)
+                heal_at = min(
+                    cluster.loop.now + a[1], self._t_end
+                )
+                cluster.loop.call_at(heal_at, faults.heal_partition)
         elif k == "unplug":
             faults.unplug_cable(a[0], segment_index=a[1])
         elif k == "replug":

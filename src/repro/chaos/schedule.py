@@ -17,6 +17,8 @@ Op kinds and their arguments:
 ``restore_link``        ``[a, b]``
 ``partition``           ``[[group...], [group...]]``
 ``heal_partition``      ``[]``
+``long_partition``      ``[[node...], duration]``  (isolates the named
+                        nodes from the rest, heals after ``duration``)
 ``unplug``              ``[node, segment_index]``
 ``replug``              ``[node, segment_index]``
 ``flap_nic``            ``[node, segment_index, period, duration]``
@@ -55,6 +57,7 @@ OP_KINDS = frozenset(
         "restore_link",
         "partition",
         "heal_partition",
+        "long_partition",
         "unplug",
         "replug",
         "flap_nic",
@@ -221,7 +224,9 @@ class _Generator:
     #: protocol-unreachable state (two tokens with *identical* membership,
     #: which the seq guard cannot absorb — real duplicates always carry
     #: divergent rings), so it is a fixture op for shrink/replay tests,
-    #: not part of the fair-schedule space.
+    #: not part of the fair-schedule space.  ``long_partition`` is also
+    #: absent: it is the resync soak's explicit primitive (CLI/tests); a
+    #: fair schedule reaches the same state via ``partition`` + heal.
     PALETTE = [
         ("crash", 14),
         ("partition", 8),

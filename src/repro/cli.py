@@ -239,6 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a recorded trace instead of generating schedules",
     )
     p.add_argument(
+        "--partition", metavar="NODES:DURATION[:AT]",
+        help="run one explicit long_partition schedule instead of "
+        "generating: isolate the comma-separated NODES for DURATION "
+        "virtual seconds starting at AT (default 2.0), e.g. "
+        "'n00,n01:20:2'",
+    )
+    p.add_argument(
         "--artifacts", default="chaos-artifacts", metavar="DIR",
         help="directory for failing traces and their shrunk reproducers",
     )
@@ -744,6 +751,52 @@ def cmd_chaos(args) -> int:
             )
             for op in minimal.ops:
                 print(f"  t={op.at:<10g} {op.kind} {list(op.args)}")
+        return 1
+
+    if args.partition:
+        from repro.chaos import ChaosParams, FaultOp
+
+        try:
+            spec, _, rest = args.partition.partition(":")
+            isolated = tuple(n for n in spec.split(",") if n)
+            duration_s, _, at_s = rest.partition(":")
+            duration = float(duration_s)
+            at = float(at_s) if at_s else 2.0
+            if not isolated or duration <= 0.0 or at < 0.0:
+                raise ValueError("empty node list or non-positive time")
+        except ValueError as exc:
+            return _cli_error(
+                f"bad --partition spec {args.partition!r} "
+                f"(want NODES:DURATION[:AT]): {exc}"
+            )
+        schedule = Schedule(
+            params=ChaosParams(
+                nodes=args.nodes,
+                seconds=args.seconds,
+                seed=args.seed,
+                segments=args.segments,
+                strict=args.strict,
+            ),
+            ops=[FaultOp(at=at, kind="long_partition", args=(isolated, duration))],
+        )
+        if args.print_trace:
+            print(schedule.to_json(), end="")
+        print(
+            f"long partition: isolating {','.join(isolated)} for "
+            f"{duration:g}s at t={at:g}s (window {args.seconds:g}s)"
+        )
+        result = ChaosEngine(schedule).run()
+        if result.alerts:
+            from repro.obs import render_alerts
+
+            print(render_alerts(result.alerts))
+        if result.ok:
+            print(f"clean ({result.stats['deliveries']} deliveries)")
+            if args.fail_on_alerts and result.alerts:
+                print("failing: contract alerts fired (--fail-on-alerts)")
+                return 1
+            return 0
+        print(f"FAILED [{result.failure}] {result.detail}")
         return 1
 
     if args.print_trace:

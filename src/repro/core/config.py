@@ -59,6 +59,24 @@ class RaincoreConfig:
         ride).  Keeps the token within datagram-friendly sizes under load,
         the same role Totem's flow control plays; deferred messages attach
         on later visits.
+    resync_window_bytes:
+        Hard per-replica budget for the retained (prunable) op log that
+        serves delta resync (docs/RESYNC.md).  Segments acknowledged by
+        every live view member are pruned normally; when the retained
+        bytes would exceed this budget anyway, the oldest segments are
+        force-pruned — shrinking the delta window instead of growing
+        memory.  ``0`` disables the window entirely: every resync attempt
+        is out-of-window and the requester is quarantined immediately.
+    resync_segment_ops:
+        Ops per log segment.  A segment seals (and is acknowledged around
+        the ring) once it holds this many ops; pruning is segment-granular.
+    resync_quarantine_after:
+        Consecutive failed resyncs (continuation-point snapshot fallbacks
+        with no certified ack in between) a peer is allowed before it is
+        quarantined from the view with a structured reason.
+    resync_quarantine_backoff:
+        Seconds a quarantined peer is refused re-admission (911 joins and
+        BODYODOR merges are ignored) before the quarantine lifts.
     transport:
         Timing for the underlying Raincore Transport Service.
     """
@@ -70,6 +88,10 @@ class RaincoreConfig:
     bodyodor_interval: float = 1.0
     max_batch_per_visit: int = 64
     max_token_bytes: int = 60_000  #: within a jumbo UDP datagram
+    resync_window_bytes: int = 65_536
+    resync_segment_ops: int = 32
+    resync_quarantine_after: int = 3
+    resync_quarantine_backoff: float = 5.0
     transport: TransportConfig = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -88,6 +110,14 @@ class RaincoreConfig:
             raise ValueError("max_batch_per_visit must be at least 1")
         if self.max_token_bytes < 1024:
             raise ValueError("max_token_bytes must be at least 1024")
+        if self.resync_window_bytes < 0:
+            raise ValueError("resync_window_bytes must be non-negative")
+        if self.resync_segment_ops < 1:
+            raise ValueError("resync_segment_ops must be at least 1")
+        if self.resync_quarantine_after < 1:
+            raise ValueError("resync_quarantine_after must be at least 1")
+        if self.resync_quarantine_backoff <= 0:
+            raise ValueError("resync_quarantine_backoff must be positive")
 
     @classmethod
     def tuned(

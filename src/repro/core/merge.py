@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.membership import merge_rings
-from repro.core.token import Token
+from repro.core.token import Token, derive_ancestry
 from repro.core.wire import BodyOdor
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -101,6 +101,8 @@ class MergeProtocol:
             return  # already merged; stale beacon
         if msg.sender not in self.eligible:
             return  # not configured as an eligible member
+        if msg.sender in node.quarantined:
+            return  # resync ladder quarantined it; wait out the backoff
         if msg.group_id >= node.group_id:
             # The other side has the higher group id; *they* will treat our
             # beacons as the join request.  Doing nothing here is what
@@ -189,6 +191,9 @@ class MergeProtocol:
             tbm=False,
             view_id=max(tbm.view_id, own.view_id) + 1,
             gen=self.node._next_gen(),
+            # Both parent gens head the chain: members of either side must
+            # recognize the merged token as their lineage's continuation.
+            ancestry=derive_ancestry(tbm, own),
         )
         probe = self.node.probe
         if probe is not None:

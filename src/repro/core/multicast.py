@@ -128,6 +128,15 @@ class MulticastService:
         """Messages queued locally, not yet attached to the token."""
         return len(self._outbox)
 
+    def buffered_bytes(self) -> int:
+        """Modelled bytes queued locally, not yet attached to the token.
+
+        Deferred payloads count as their declared queue-time size (0 for
+        snapshots materialized at attach) — the bound tracked here is the
+        *backlog*, not the eventual wire cost.
+        """
+        return sum(m.size for m in self._outbox)
+
     def reset(self) -> None:
         """Drop queued and held messages (node restart).
 

@@ -31,6 +31,7 @@ import itertools
 from typing import TYPE_CHECKING
 
 from repro.core.states import NodeState
+from repro.core.token import derive_ancestry
 from repro.core.wire import NineOneOne, NineOneOneReply, ReplyVerdict
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -207,10 +208,13 @@ class RecoveryProtocol:
             token.membership = (node.node_id,) + token.membership
         token.seq = copy.seq + REGEN_SEQ_MARGIN
         token.tbm = False
-        # The regenerated token starts a new lineage; the parent gen is
-        # recorded in the probe stream (not on the wire), which is what lets
-        # a bundle link spans across the regeneration.
+        # The regenerated token starts a new lineage descending from the
+        # copy's: the parent gen heads the ancestry chain, so every member
+        # bound to the old lineage accepts this token as its continuation
+        # (and a survivor of the old token, should it still circulate, is
+        # diverted by the lineage guard instead of racing us).
         parent = token.gen
+        token.ancestry = derive_ancestry(copy)
         token.gen = node._next_gen()
         probe = node.probe
         if probe is not None:
@@ -225,8 +229,13 @@ class RecoveryProtocol:
         node = self.node
         if msg.sender not in node.members:
             # Join request (new node, wrongly-removed node, or node behind a
-            # broken link).  Queue it; the token visit applies it.
-            if msg.sender not in self.pending_joins:
+            # broken link).  Queue it; the token visit applies it.  A
+            # quarantined sender still gets JOIN_PENDING (so it keeps
+            # politely knocking) but is not queued until the backoff lifts.
+            if (
+                msg.sender not in self.pending_joins
+                and msg.sender not in node.quarantined
+            ):
                 self.pending_joins.append(msg.sender)
             verdict = ReplyVerdict.JOIN_PENDING
         elif node.is_eating:
@@ -319,6 +328,11 @@ class RecoveryProtocol:
             if joiner != me and not token.has_member(joiner):
                 token.insert_after(me, joiner)
         self.pending_joins.clear()
+        # Quarantine eviction: a peer the resync ladder gave up on is
+        # removed from the ring here, on the same visit joins apply.
+        for peer in sorted(self.node.quarantined):
+            if peer != me and token.has_member(peer):
+                token.remove_member(peer)
 
     def cancel_timers(self) -> None:
         """Token arrived or node shut down: stop all recovery activity."""

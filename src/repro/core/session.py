@@ -17,12 +17,27 @@ sub-protocols:
 
 Token acceptance guard
 ----------------------
-A received non-TBM token is ignored unless its sequence number is strictly
-greater than the last sequence number this node has seen.  Together with the
-rule that every send increments the sequence number, this makes duplicate
-tokens (created by an ack lost on an otherwise-successful forward, i.e. a
-failure-detector false alarm) die at the first node that already saw the
-newer branch — the mechanism behind the paper's token-uniqueness argument.
+Two layers, checked in order:
+
+1. **Lineage continuity.**  Every node remembers the lineage id (``gen``)
+   of the last token it accepted.  A non-TBM token is only *ours* if it
+   continues that lineage — same ``gen``, or our binding appears in the
+   token's bounded :attr:`~repro.core.token.Token.ancestry` chain (a 911
+   regeneration or a merge minted a descendant).  Any other token belongs
+   to a different live group that merely believes we are a member — the
+   signature of a 911 regeneration racing the token it presumed lost.
+   Processing both streams would interleave their agreed orders, so the
+   foreign token is **diverted**: we remove ourselves from its ring and
+   forward it to its next member.  Both forks then partition cleanly into
+   disjoint groups, and the BODYODOR/TBM merge machinery (plus the data
+   layer's resync ladder) reconciles them.
+2. **Sequence freshness.**  A same-lineage token is ignored unless its
+   sequence number is strictly greater than the last one seen.  Together
+   with the rule that every send increments the sequence number, this
+   makes duplicate tokens (created by an ack lost on an otherwise-
+   successful forward, i.e. a failure-detector false alarm) die at the
+   first node that already saw the newer branch — the mechanism behind
+   the paper's token-uniqueness argument.
 
 Task-switch accounting convention (paper §1, §4.1)
 --------------------------------------------------
@@ -104,6 +119,9 @@ class RaincoreNode:
         self._live_token: Token | None = None
         self._local_copy: Token | None = None
         self._last_seen_seq: int = -1
+        # Lineage binding: gen of the last accepted token (None until the
+        # first acceptance).  See "Token acceptance guard" above.
+        self._lineage: str | None = None
         self._members: tuple[str, ...] = ()
         self._announced_view: tuple[str, ...] | None = None
         self._hungry_timer: TimerHandle | None = None
@@ -113,6 +131,11 @@ class RaincoreNode:
         self._drain_before_leave = False
         self._open_group_seen: set[tuple[str, int]] = set()
         self.shutdown_reason: str | None = None
+        # Peers quarantined from the view (peer id -> structured reason).
+        # Quarantined peers are evicted on the next token visit and their
+        # 911 joins / BODYODOR merges are ignored until the backoff lifts
+        # (bounded-state resync degradation ladder, docs/RESYNC.md).
+        self.quarantined: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # introspection
@@ -185,12 +208,15 @@ class RaincoreNode:
         self._live_token = None
         self._local_copy = None
         self._last_seen_seq = -1
+        self._lineage = None
         self._members = ()
         self._announced_view = None
         self._leaving = False
         self._drain_before_leave = False
         self.shutdown_reason = None
-        # A restart is a new incarnation: drop work queued by the old one.
+        # A restart is a new incarnation: drop work queued by the old one —
+        # including grudges (lift timers for the old entries become no-ops).
+        self.quarantined.clear()
         self.multicast_service.reset()
         self.mutex._queue.clear()
 
@@ -298,6 +324,35 @@ class RaincoreNode:
         """Configure the Eligible Membership for discovery (paper §2.4)."""
         self.merge.set_eligible(node_ids)
 
+    def quarantine_peer(self, peer: str, reason: str) -> None:
+        """Quarantine ``peer`` from the view with a structured ``reason``.
+
+        Called by the resync degradation ladder when a peer repeatedly
+        fails state transfer: the peer is removed from the ring on this
+        node's next token visit, and its 911 joins and BODYODOR merge
+        beacons are ignored until ``resync_quarantine_backoff`` elapses.
+        Quarantining beats the alternative — a peer that can never resync
+        re-entering the view forever, stalling convergence and bloating
+        every member's retransmit and catch-up state.
+        """
+        if peer == self.node_id or peer in self.quarantined:
+            return
+        self.quarantined[peer] = reason
+        probe = self.probe
+        if probe is not None:
+            probe.emit(self.node_id, "resync.quarantine", peer, reason, True)
+        self.loop.call_later(
+            self.config.resync_quarantine_backoff, self._lift_quarantine, peer
+        )
+
+    def _lift_quarantine(self, peer: str) -> None:
+        if self.quarantined.pop(peer, None) is None:
+            return
+        self._gc_wakeup()
+        probe = self.probe
+        if probe is not None:
+            probe.emit(self.node_id, "resync.quarantine", peer, "", False)
+
     # ------------------------------------------------------------------
     # state machine
     # ------------------------------------------------------------------
@@ -390,16 +445,26 @@ class RaincoreNode:
             # initiator's group starves and recovers via the 911 protocol.
             self.merge.handle_tbm(token)
             return
+        lineage = self._lineage
+        if (
+            lineage is not None
+            and self.state is not NodeState.JOINING
+            and token.gen != lineage
+            and lineage not in token.ancestry
+        ):
+            # Not a continuation of the lineage we follow: a concurrent
+            # fork (911 regen racing the live token) or a straggler from a
+            # dead one.  Either way, delivering from two token streams
+            # would break agreed ordering — route it around ourselves
+            # instead.  (A JOINING node has no stream to protect: it
+            # accepts whichever group admits it.)
+            self._divert_foreign_token(token, from_node)
+            return
         if token.seq <= self._last_seen_seq:
-            # Stale duplicate (healed false alarm) or a token from another
-            # lineage whose seq space lags ours (concurrent merges).  The
-            # drop is deliberately SILENT: the stale branch of a false
-            # alarm must die here, and a genuinely separate group whose
-            # token lands on us recovers through its own HUNGRY timeout —
-            # its 911 round reaches us, we answer JOIN_PENDING, and the
-            # join/merge machinery absorbs it (the recovery protocol's
-            # abstention + escalation rules make that terminate; see
-            # docs/PROTOCOL.md §4.2).
+            # Stale duplicate of our own lineage (healed false alarm).
+            # The drop is deliberately SILENT: the stale branch of a false
+            # alarm must die here.  (Tokens from *other* lineages never
+            # reach this guard — the lineage check above diverts them.)
             probe = self.probe
             if probe is not None:
                 probe.emit(
@@ -416,6 +481,7 @@ class RaincoreNode:
             return
         self._last_seen_seq = token.seq
         self._live_token = token
+        self._lineage = token.gen
         probe = self.probe
         if probe is not None:
             probe.emit(
@@ -438,6 +504,7 @@ class RaincoreNode:
             # the two groups now (paper §2.4).
             self._live_token = self.merge.merge_with_own(token)
             self._last_seen_seq = self._live_token.seq
+            self._lineage = self._live_token.gen
 
         if self._leaving:
             if (
@@ -453,12 +520,43 @@ class RaincoreNode:
 
         self._process_visit()
 
+    def _divert_foreign_token(self, token: Token, from_node: str | None) -> None:
+        """Route a foreign-lineage token around ourselves (see the module
+        docstring's acceptance guard, layer 1).
+
+        We are bound to a different live lineage, so we must not process —
+        or silently swallow — this one.  If its ring names us, we remove
+        ourselves (pruning us from its messages' pending sets, the same
+        bookkeeping as a failure-detector removal) and pass it to our ring
+        successor, so the foreign group keeps its token and simply shrinks
+        by one.  A foreign token that does not name us is dropped; its
+        group recovers through its own HUNGRY timeout and 911 round.
+        """
+        probe = self.probe
+        if probe is not None:
+            probe.emit(
+                self.node_id,
+                "token.foreign",
+                from_node if from_node is not None else "local",
+                token.gen,
+                token.seq,
+            )
+        if not token.has_member(self.node_id):
+            return
+        successor = token.next_after(self.node_id)
+        if successor == self.node_id:
+            return  # their ring was only us: the fork dissolves here
+        token.remove_member(self.node_id)
+        token.seq += 1
+        self.transport.send(successor, token)
+
     def _merge_now(self) -> None:
         """Called by the merge protocol when a TBM arrives while EATING."""
         if self._live_token is None:  # pragma: no cover - defensive
             return
         self._live_token = self.merge.merge_with_own(self._live_token)
         self._last_seen_seq = self._live_token.seq
+        self._lineage = self._live_token.gen
         self._sync_membership(self._live_token)
 
     def _process_visit(self) -> None:

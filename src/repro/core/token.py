@@ -47,7 +47,15 @@ from dataclasses import dataclass, field
 
 from repro.transport.messages import session_message
 
-__all__ = ["Ordering", "PiggybackedMessage", "Token", "TOKEN_HEADER", "MSG_HEADER"]
+__all__ = [
+    "Ordering",
+    "PiggybackedMessage",
+    "Token",
+    "TOKEN_HEADER",
+    "MSG_HEADER",
+    "ANCESTRY_DEPTH",
+    "derive_ancestry",
+]
 
 #: Modelled fixed header of the token (seq, flags, counts).
 TOKEN_HEADER = 24
@@ -55,6 +63,11 @@ TOKEN_HEADER = 24
 MEMBER_ENTRY = 8
 #: Modelled per-message header (origin, msg number, flags, length).
 MSG_HEADER = 16
+#: Ancestor lineage ids retained on the token (see :attr:`Token.ancestry`).
+#: Deep enough to cover both merge parents plus a few generations, so a
+#: member that slept through several regenerations still recognizes the
+#: current token as a continuation of the lineage it knew.
+ANCESTRY_DEPTH = 6
 
 
 class Ordering(enum.Enum):
@@ -70,6 +83,24 @@ class Ordering(enum.Enum):
 
     AGREED = "agreed"
     SAFE = "safe"
+
+
+def derive_ancestry(*parents: "Token") -> tuple[str, ...]:
+    """Ancestry chain for a token forked or merged from ``parents``.
+
+    Parent gens come first (every node bound to a parent lineage must find
+    its binding here), then the parents' own ancestors, deduplicated in
+    order and truncated to :data:`ANCESTRY_DEPTH`.
+    """
+    chain: list[str] = []
+    for parent in parents:
+        if parent.gen and parent.gen not in chain:
+            chain.append(parent.gen)
+    for parent in parents:
+        for gen in parent.ancestry:
+            if gen not in chain:
+                chain.append(gen)
+    return tuple(chain[:ANCESTRY_DEPTH])
 
 
 _msg_uid = itertools.count(1)
@@ -176,6 +207,16 @@ class Token:
     #: merge and carried on the wire as the token's causal trace context.
     #: Deterministic (per-node counters), unlike ``PiggybackedMessage.uid``.
     gen: str = ""
+    #: Recent ancestor lineage ids, newest first, bounded to
+    #: :data:`ANCESTRY_DEPTH`.  A 911 regeneration records the lineage it
+    #: forked from; a merge records both parents.  Nodes use this chain to
+    #: accept only tokens that *continue* the lineage they last followed —
+    #: the defence against two concurrently-live tokens (a regeneration
+    #: racing the token it presumed lost) leapfrogging each other's seq
+    #: space forever.  A real implementation would carry a fixed-width
+    #: digest of this chain; like ``gen``, we model it inside the fixed
+    #: :data:`TOKEN_HEADER` allowance.
+    ancestry: tuple[str, ...] = ()
     #: Cached sum of message wire sizes (maintained incrementally).  The
     #: cache is tagged with the list object and length it was computed for,
     #: so direct ``token.messages`` mutation (tests, adversarial injection)
@@ -326,6 +367,7 @@ class Token:
         token.tbm = self.tbm
         token.view_id = self.view_id
         token.gen = self.gen
+        token.ancestry = self.ancestry
         token._msgs_wire = self._msgs_wire
         token._wire_list = messages
         token._wire_n = len(messages)
@@ -362,6 +404,7 @@ class Token:
             tbm=self.tbm,
             view_id=self.view_id,
             gen=self.gen,
+            ancestry=self.ancestry,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -10,10 +10,26 @@ from repro.data.barrier import BarrierOp, DistributedBarrier
 from repro.data.lock_manager import DistributedLockManager, LockOp
 from repro.data.queue import QueueOp, ReplicatedQueue
 from repro.data.replica import ReplicaBase, SyncRequest
+from repro.data.resync import (
+    ContinuationPoint,
+    LogEntry,
+    ResyncAck,
+    ResyncDelta,
+    ResyncSnapshot,
+    Segment,
+    SegmentedLog,
+)
 from repro.data.rwlock import ReadWriteLockManager, RwOp
 from repro.data.shared_dict import DictOp, DictSnapshot, SharedDict
 
 __all__ = [
+    "ContinuationPoint",
+    "LogEntry",
+    "ResyncAck",
+    "ResyncDelta",
+    "ResyncSnapshot",
+    "Segment",
+    "SegmentedLog",
     "BarrierOp",
     "DistributedBarrier",
     "DistributedLockManager",

@@ -29,6 +29,10 @@ from repro.core.session import RaincoreNode
 
 __all__ = ["ReplicatedQueue", "QueueOp"]
 
+#: Bound on the remembered hand-off log (raincheck RC205: every replicated
+#: append needs a prune path; a deque's maxlen is this log's).
+ASSIGNMENT_LOG_WINDOW = 4096
+
 
 @dataclass(frozen=True)
 class QueueOp:
@@ -57,7 +61,11 @@ class ReplicatedQueue(SessionListener):
         self._callbacks: dict[int, Callable[[Any], None]] = {}
         self._last_view: tuple[str, ...] = ()
         self._purged_views: set[int] = set()
-        self.assignments: list[tuple[str, Any]] = []  #: replicated hand-off log
+        #: replicated hand-off log, bounded so a long-lived queue cannot
+        #: grow replica memory without bound (oldest entries fall off)
+        self.assignments: deque[tuple[str, Any]] = deque(
+            maxlen=ASSIGNMENT_LOG_WINDOW
+        )
 
     # ------------------------------------------------------------------
     # public API

@@ -376,6 +376,127 @@ def check_loop_internals(ctx: FileContext) -> Iterator[FileFinding]:
             )
 
 
+#: Modules whose classes buffer protocol data and therefore must bound it
+#: (docs/RESYNC.md): the Data Service replicas and the reliable transport.
+_BOUNDED_BUFFER_DIRS = ("repro/data/",)
+_BOUNDED_BUFFER_MODULES = ("repro/transport/reliable.py",)
+
+#: Method calls on ``self.<attr>`` that shrink or empty the buffer.
+_PRUNE_METHODS = frozenset(
+    {"clear", "pop", "popleft", "popitem", "remove", "discard"}
+)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` → ``"X"``; anything else → None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _bounded_deque_call(node: ast.AST) -> bool:
+    """True for ``deque(..., maxlen=<non-None>)`` constructions."""
+    if not (isinstance(node, ast.Call) and node.keywords):
+        return False
+    target = node.func
+    name = target.attr if isinstance(target, ast.Attribute) else (
+        target.id if isinstance(target, ast.Name) else None
+    )
+    if name != "deque":
+        return False
+    return any(
+        kw.arg == "maxlen"
+        and not (isinstance(kw.value, ast.Constant) and kw.value.value is None)
+        for kw in node.keywords
+    )
+
+
+@rule("RC205", "buffer append without a reachable prune path")
+def check_buffer_prune_path(ctx: FileContext) -> Iterator[FileFinding]:
+    """Every buffering append in the data/transport layers must be prunable.
+
+    The bounded-state resync work (docs/RESYNC.md) turns "buffers grow
+    until something crashes" into a static finding: inside ``repro/data/``
+    and the reliable transport, any class that does ``self.X.append(...)``
+    must also give ``self.X`` a prune path — a shrink call (``clear`` /
+    ``pop`` / ``popleft`` / ``remove`` / ...), a ``del self.X[...]``, a
+    reassignment outside ``__init__``, or construction as a bounded
+    ``deque(maxlen=...)``.  A class that only ever appends is exactly the
+    unbounded-log bug class this PR's protocol machinery exists to kill.
+    """
+    if not (
+        ctx.in_dir(*_BOUNDED_BUFFER_DIRS)
+        or ctx.is_module(*_BOUNDED_BUFFER_MODULES)
+    ):
+        return
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        appends: dict[str, tuple[int, int]] = {}
+        pruned: set[str] = set()
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            in_init = fn.name == "__init__"
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    attr = _self_attr(node.func.value)
+                    if attr is None:
+                        continue
+                    if node.func.attr == "append":
+                        appends.setdefault(
+                            attr, (node.lineno, node.col_offset)
+                        )
+                    elif node.func.attr in _PRUNE_METHODS:
+                        pruned.add(attr)
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        base = (
+                            target.value
+                            if isinstance(target, ast.Subscript)
+                            else target
+                        )
+                        attr = _self_attr(base)
+                        if attr is not None:
+                            pruned.add(attr)
+                elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    value = node.value
+                    for target in targets:
+                        base = (
+                            target.value
+                            if isinstance(target, ast.Subscript)
+                            else target
+                        )
+                        attr = _self_attr(base)
+                        if attr is None:
+                            continue
+                        if value is not None and _bounded_deque_call(value):
+                            pruned.add(attr)  # bounded by construction
+                        elif not in_init:
+                            pruned.add(attr)  # rebind/splice = prune path
+        for attr, (line, col) in sorted(appends.items()):
+            if attr not in pruned:
+                yield (
+                    line,
+                    col,
+                    f"{cls.name}.{attr} is appended to but never pruned: "
+                    "give it a shrink path (clear/pop/del/reassignment "
+                    "outside __init__) or bound it with deque(maxlen=...) "
+                    "— unbounded buffers break the resync byte budget",
+                )
+
+
 # ----------------------------------------------------------------------
 # RC3xx — hot-path hygiene
 # ----------------------------------------------------------------------

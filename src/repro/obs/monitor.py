@@ -213,6 +213,11 @@ def check_token_rate(w: RuleWindow) -> Breach | None:
     """
     if w.uptime < w.span:  # joining/rebooting nodes get a full window first
         return None
+    if w.kinds("view.change"):
+        # Reconfiguration window: visits earned under the old view would
+        # be judged against the new view's L.  Rates resume one full
+        # window after the membership settles.
+        return None
     hop = w.params["hop_interval"]
     tolerance = w.params["tolerance"]
     expected = 1.0 / (max(1, w.view_size) * hop)
@@ -241,6 +246,8 @@ def check_wakeup_budget(w: RuleWindow) -> Breach | None:
     """
     if w.uptime < w.span:
         return None
+    if w.kinds("view.change"):
+        return None  # mixed-regime window (see check_token_rate)
     hop = w.params["hop_interval"]
     epsilon = w.params["epsilon"]
     slack = w.params["slack"]
@@ -324,6 +331,38 @@ def check_bandwidth_share(w: RuleWindow) -> Breach | None:
             f"sending {rate / 1e3:.1f} kB/s > budgeted share {budget / 1e3:.1f} kB/s",
         )
     return None
+
+
+@contract_rule("buffer-bound")
+def check_buffer_bound(w: RuleWindow) -> Breach | None:
+    """Every bounded buffer stays inside its budget (docs/RESYNC.md).
+
+    The resync layer emits ``resync.buffer`` level samples (component,
+    bytes, budget) whenever a bounded buffer changes.  The budget rides
+    in the event itself, so one rule covers every component — replica op
+    logs, transport retransmit buffers — without per-component config.
+    Only the latest sample per component counts: a level that was high
+    and has already been pruned back is not a breach.
+    """
+    latest: dict[object, ProbeEvent] = {}
+    for e in w.kinds("resync.buffer"):
+        latest[e.args[0]] = e
+    worst: Breach | None = None
+    for e in latest.values():
+        component, level, budget = e.args[0], e.args[1], e.args[2]
+        if not isinstance(level, (int, float)) or not isinstance(
+            budget, (int, float)
+        ):
+            continue
+        if budget <= 0:  # bound disabled for this component
+            continue
+        if level > budget and (worst is None or level > worst[0]):
+            worst = (
+                float(level),
+                float(budget),
+                f"buffer {component} holds {level} B > budget {budget} B",
+            )
+    return worst
 
 
 @contract_rule("ring-liveness")
@@ -435,6 +474,15 @@ def paper_contract_rules(
             severity="critical",
             for_duration=0.0,  # the window itself is the debounce
             scope="cluster",
+            params={},
+        ),
+        RuleSpec(
+            name="buffer-bound",
+            summary="bounded buffers stay inside their byte budgets",
+            window=window,
+            severity="critical",
+            for_duration=0.0,  # an overrun is a hard-bound violation
+            scope="node",
             params={},
         ),
     ]

@@ -70,6 +70,7 @@ PROBE_CATALOG: dict[str, tuple[str, ...]] = {
     "token.bootstrap": ("gen",),
     "token.accept": ("src", "gen", "seq", "msgs"),
     "token.stale": ("src", "gen", "seq"),
+    "token.foreign": ("src", "gen", "seq"),
     "token.regen": ("gen", "parent", "seq"),
     "token.merge": ("gen", "left", "right", "seq"),
     # -- core: failure detector (failure-on-delivery, paper §2.2) -----------
@@ -88,6 +89,12 @@ PROBE_CATALOG: dict[str, tuple[str, ...]] = {
     "state.snapshot": ("service",),
     "state.install": ("service", "late"),
     "state.sync_request": ("service",),
+    # -- data: bounded-state resync (docs/RESYNC.md) ------------------------
+    "resync.prune": ("service", "upto", "segments", "bytes", "forced"),
+    "resync.delta": ("service", "peer", "from_seq", "entries", "bytes"),
+    "resync.snapshot_fallback": ("service", "peer", "peer_seq", "window_floor"),
+    "resync.quarantine": ("peer", "reason", "active"),
+    "resync.buffer": ("component", "bytes", "budget"),
     # -- apps ----------------------------------------------------------------
     "app.vip_install": ("vip",),
     "app.vip_release": ("vip",),

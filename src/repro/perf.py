@@ -31,6 +31,10 @@ Metrics (all higher-is-better except ``wall_clock_per_sim_second``):
   with the contract monitor evaluating the full paper rule set on top,
   relative to probes + recorder alone (lower is better; isolates what the
   *rules engine* adds over the instrumentation it rides on).
+* ``resync_overhead_ratio`` — wall-clock cost of driving the reference
+  ring through replicated SharedDict writes (segmented op log, hash
+  chaining, acks and pruning — the whole docs/RESYNC.md bookkeeping)
+  relative to plain multicasts of the same count (lower is better).
 
 ``repro bench`` (see :mod:`repro.cli`) runs the suite, writes a JSON
 report, and can gate on a committed baseline with a relative tolerance.
@@ -49,6 +53,7 @@ __all__ = [
     "bench_loaded_ring",
     "bench_probe_overhead",
     "bench_monitor_overhead",
+    "bench_resync_overhead",
     "run_suite",
     "write_report",
     "compare",
@@ -64,6 +69,7 @@ _LOWER_IS_BETTER = {
     "wall_clock_per_sim_second",
     "probe_overhead_ratio",
     "monitor_overhead_ratio",
+    "resync_overhead_ratio",
 }
 
 
@@ -181,6 +187,48 @@ def bench_monitor_overhead(sim_seconds: float) -> float:
     return monitored / probed
 
 
+def bench_resync_overhead(sim_seconds: float) -> float:
+    """Bounded-resync bookkeeping overhead on the reference ring.
+
+    Runs the :func:`bench_loaded_ring` workload twice — once with the 50
+    messages as plain multicasts, once as replicated SharedDict writes
+    (which ride the identical agreed-order path but additionally append
+    to the hash-chained segmented log, multicast seal acks and prune on
+    full acknowledgement) — and returns ``replicated_wall / plain_wall``.
+    This prices the *entire* Data Service write path, so it is a coarse
+    upper bound on what the resync layer alone costs.
+    """
+    from repro.cluster.harness import RaincoreCluster
+    from repro.core.config import RaincoreConfig
+    from repro.data import SharedDict
+
+    def one_run(replicated: bool) -> float:
+        cluster = RaincoreCluster(
+            [f"n{i}" for i in range(8)],
+            seed=2,
+            config=RaincoreConfig.tuned(ring_size=8, hop_interval=0.005),
+        )
+        dicts = (
+            {nid: SharedDict(cluster.node(nid)) for nid in cluster.node_ids}
+            if replicated
+            else None
+        )
+        cluster.start_all()
+        for i in range(50):
+            if dicts is not None:
+                dicts[f"n{i % 8}"].set(f"k{i % 16}", i)
+            else:
+                cluster.node(f"n{i % 8}").multicast(f"m{i}", size=200)
+        t0 = time.perf_counter()
+        cluster.run(sim_seconds)
+        t1 = time.perf_counter()
+        return t1 - t0
+
+    plain = one_run(False)
+    replicated = one_run(True)
+    return replicated / plain
+
+
 def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]:
     """Run all benchmarks and return a report dict (see ``write_report``).
 
@@ -203,6 +251,9 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
     best_monitor = min(
         bench_monitor_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
     )
+    best_resync = min(
+        bench_resync_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
+    )
     return {
         "schema": 1,
         "quick": quick,
@@ -220,6 +271,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
             "wall_clock_per_sim_second": round(wall_per_sim, 6),
             "probe_overhead_ratio": round(best_overhead, 4),
             "monitor_overhead_ratio": round(best_monitor, 4),
+            "resync_overhead_ratio": round(best_resync, 4),
         },
     }
 

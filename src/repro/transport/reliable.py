@@ -70,6 +70,11 @@ class TransportConfig:
     attempts_per_route: int = 3
     strategy: SendStrategy = SendStrategy.SEQUENTIAL
     dedup_window: int = 4096
+    #: Hard bound on bytes held across in-flight (retransmittable) sends.
+    #: A send that would exceed it is shed with an immediate asynchronous
+    #: failure-on-delivery — bounded buffers beat unbounded backlog, and
+    #: the session layer already handles delivery failure (paper §2.1).
+    max_pending_bytes: int = 1_048_576
 
     def __post_init__(self) -> None:
         if self.retx_timeout <= 0.0:
@@ -78,6 +83,8 @@ class TransportConfig:
             raise ValueError("attempts_per_route must be at least 1")
         if self.dedup_window < 1:
             raise ValueError("dedup_window must be at least 1")
+        if self.max_pending_bytes < 1:
+            raise ValueError("max_pending_bytes must be at least 1")
 
     def failure_detection_bound(self, n_routes: int = 1) -> float:
         """Worst-case seconds before failure-on-delivery fires."""
@@ -93,6 +100,7 @@ class _PendingSend:
     frame: DataFrame
     plan: AddressPlan
     on_result: ResultHandler | None
+    size: int = 0  # enqueue-time wire size, for the pending-bytes budget
     route_index: int = 0
     attempts_on_route: int = 0
     rounds: int = 0  # parallel strategy: completed all-routes rounds
@@ -126,6 +134,8 @@ class ReliableUnicast:
         self._receiver: ReceiveHandler | None = None
         self._msg_ids = itertools.count(1)
         self._pending: dict[int, _PendingSend] = {}
+        self._pending_bytes = 0
+        self.sheds = 0  #: sends refused by the pending-bytes budget
         # Duplicate suppression: peer -> (set of ids, FIFO of ids).
         self._seen: dict[str, tuple[set[int], deque[int]]] = {}
         self._running = False
@@ -166,6 +176,7 @@ class ReliableUnicast:
                 pending.timer.cancel()
             pending.done = True
         self._pending.clear()
+        self._pending_bytes = 0
 
     @property
     def running(self) -> bool:
@@ -195,8 +206,19 @@ class ReliableUnicast:
         msg_id = next(self._msg_ids)
         frame = DataFrame(self.node_id, dst_node, msg_id, payload)
         plan = self._plan_for(dst_node)
-        pending = _PendingSend(frame=frame, plan=plan, on_result=on_result)
+        size = frame_size(frame)
+        pending = _PendingSend(
+            frame=frame, plan=plan, on_result=on_result, size=size
+        )
         self._pending[msg_id] = pending
+        if self._pending_bytes + size > self.config.max_pending_bytes:
+            # Budget shed: refuse to grow the retransmit buffer past its
+            # bound.  Same (async) failure path callers already handle.
+            self.sheds += 1
+            pending.size = 0
+            self.loop.call_later(0.0, self._finish, msg_id, False)
+            return msg_id
+        self._pending_bytes += size
         if not plan:
             # No shared segment at all: immediate (but async) failure.
             self.loop.call_later(0.0, self._finish, msg_id, False)
@@ -224,11 +246,16 @@ class ReliableUnicast:
         pending = self._pending.pop(msg_id, None)
         if pending is not None:
             pending.done = True
+            self._pending_bytes -= pending.size
             if pending.timer is not None:
                 pending.timer.cancel()
 
     def pending_count(self) -> int:
         return len(self._pending)
+
+    def buffered_bytes(self) -> int:
+        """Bytes held by in-flight (retransmittable) sends."""
+        return self._pending_bytes
 
     # ------------------------------------------------------------------
     # internals
@@ -299,6 +326,7 @@ class ReliableUnicast:
         if pending is None or pending.done:
             return
         pending.done = True
+        self._pending_bytes -= pending.size
         if pending.timer is not None:
             pending.timer.cancel()
         probe = self.probe

@@ -1,0 +1,17 @@
+"""RC205 fixture: append-only buffers in a data-layer class.
+
+Both ``log`` and ``acks`` grow forever — the unbounded-buffer bug class
+the bounded-state resync work exists to kill.
+"""
+
+
+class LeakyReplica:
+    def __init__(self):
+        self.log = []
+        self.acks = []
+
+    def on_deliver(self, op):
+        self.log.append(op)
+
+    def on_ack(self, ack):
+        self.acks.append(ack)

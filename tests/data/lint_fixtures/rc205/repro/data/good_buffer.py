@@ -1,0 +1,32 @@
+"""RC205 fixture: every append has a recognized prune path.
+
+One attribute per accepted shape: a ``del`` slice, a bounded
+``deque(maxlen=...)`` construction, a shrinking method call, and a
+reassignment outside ``__init__``.
+"""
+
+from collections import deque
+
+
+class BoundedReplica:
+    def __init__(self):
+        self.log = []
+        self.recent = deque(maxlen=16)
+        self.held = []
+        self.waiters = []
+
+    def on_deliver(self, op):
+        self.log.append(op)
+        self.recent.append(op)
+        self.held.append(op)
+        self.waiters.append(op)
+
+    def prune(self, floor):
+        del self.log[:floor]
+
+    def drain(self):
+        while self.held:
+            self.held.pop()
+
+    def reset(self):
+        self.waiters = []

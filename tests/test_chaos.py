@@ -8,6 +8,8 @@ The acceptance properties of docs/CHAOS.md:
   trace that still reproduces the violation on replay.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.chaos import (
@@ -205,3 +207,40 @@ def test_campaign_writes_artifacts_and_shrinks(tmp_path):
     path.write_text(minimal.to_json())
     again = Schedule.from_json(path.read_text())
     assert not ChaosEngine(again).run().ok
+
+
+# ----------------------------------------------------------------------
+# shrunk-trace regressions (real bugs the chaos engine found)
+# ----------------------------------------------------------------------
+REGRESSIONS = Path(__file__).parent / "data"
+
+
+def replay_fixture(name):
+    schedule = Schedule.from_json((REGRESSIONS / name).read_text())
+    return ChaosEngine(schedule).run()
+
+
+def test_regression_merged_member_rejects_overtaken_delta():
+    """Partition + heal + cut link (shrunk from seed 7, 8 nodes).
+
+    A merged-back replica that applied live ops between its merge-time ack
+    and its catch-up delta's attach must treat the overlap mismatch as a
+    fork (demote and re-sync), not drop the delta as a stale duplicate —
+    dropping it left the replica silently missing the partition-era ops
+    while continuing to apply new ones.
+    """
+    result = replay_fixture("regression_merge_delta_race.json")
+    assert result.ok, f"{result.failure}: {result.detail}"
+
+
+def test_regression_duplicate_token_lineages_do_not_interleave():
+    """Partition + NIC flap + heal + link churn (shrunk from seed 7).
+
+    A 911 regeneration racing a merge forked the token into two live
+    lineages with overlapping memberships; nodes flip-flopped between the
+    two streams and delivered their messages in different relative orders.
+    The lineage-binding acceptance guard (session.py) must divert the
+    foreign fork so the groups partition cleanly and re-merge via TBM.
+    """
+    result = replay_fixture("regression_dup_token_lineage.json")
+    assert result.ok, f"{result.failure}: {result.detail}"

@@ -49,7 +49,7 @@ def test_rule_catalogue_is_complete():
     assert set(RULES) == {
         "RC000", "RC001", "RC002", "RC003",
         "RC101", "RC102", "RC103", "RC104", "RC105",
-        "RC201", "RC202", "RC203", "RC204",
+        "RC201", "RC202", "RC203", "RC204", "RC205",
         "RC301", "RC302",
         "RC401", "RC402", "RC403",
     }
@@ -184,6 +184,26 @@ def test_rc204_loop_internals():
     report = lint_paths(FIXTURES / "rc204_loop_internals.py")
     assert fired(report) == {"RC204"}
     assert count(report, "RC204") == 2  # ._heap access + advance_to() call
+
+
+def test_rc205_unpruned_buffer():
+    report = lint_paths(FIXTURES / "rc205")
+    assert fired(report) == {"RC205"}
+    # bad_buffer's log + acks fire; good_buffer's four prune shapes
+    # (del slice, deque(maxlen=...), .pop(), reassignment) stay clean.
+    assert count(report, "RC205") == 2
+    assert all("LeakyReplica" in v.message for v in report.violations)
+
+
+def test_rc205_only_applies_to_data_and_transport(tmp_path):
+    # The same source outside repro/data//transport must not be flagged.
+    source = (
+        FIXTURES / "rc205" / "repro" / "data" / "bad_buffer.py"
+    ).read_text()
+    target = tmp_path / "coldpath.py"
+    target.write_text(source, encoding="utf-8")
+    report = lint_paths(target)
+    assert report.ok, format_human(report)
 
 
 # ----------------------------------------------------------------------

@@ -153,7 +153,9 @@ def test_paper_rules_derive_bounds_from_config():
         "fd-latency",
         "bandwidth-share",
         "ring-liveness",
+        "buffer-bound",
     }
+    assert rules["buffer-bound"].severity == "critical"
     # The fd bound is the transport's own derivation, not a constant.
     assert rules["fd-latency"].params["bound"] == pytest.approx(
         config.transport.failure_detection_bound(1)

@@ -18,6 +18,7 @@ def test_run_suite_quick_reports_all_metrics():
         "wall_clock_per_sim_second",
         "probe_overhead_ratio",
         "monitor_overhead_ratio",
+        "resync_overhead_ratio",
     }
     assert all(v > 0 for v in metrics.values())
     assert report["quick"] is True

@@ -45,8 +45,9 @@ def test_sync_request_heals_stranded_member():
     c.start_all()
     dicts["A"].set("k", "v")
     c.run(1.0)
-    # Artificially strand C: wipe its state and mark unsynced.
-    dicts["C"]._synced = False
+    # Artificially strand C: full amnesia (state, log and chain), as a
+    # corrupted-journal restart would leave it.
+    dicts["C"].forget()
     dicts["C"]._state = {}
     dicts["C"]._arm_sync_timer()
     c.run(5.0)  # no membership changes at all
@@ -82,15 +83,38 @@ def test_sync_requests_are_service_scoped():
     d["A"].set("k", 1)
     n["A"].allocate(1, "c1")
     c.run(1.0)
-    # Strand B's NAT replica only.
-    n["B"]._synced = False
+    # Strand B's NAT replica only: full amnesia back to construction state.
+    from collections import deque
+
+    n["B"].forget()
     n["B"]._by_flow = {}
     n["B"]._by_port = {}
+    n["B"]._next_fresh = 30000
+    n["B"]._freed = deque()
     n["B"]._arm_sync_timer()
     c.run(5.0)
     assert n["B"].synced
     assert n["B"].snapshot() == n["A"].snapshot()
     assert d["B"].get("k") == 1  # dict replica untouched throughout
+
+
+def test_sync_timer_cancelled_on_view_departure():
+    """Regression: back-to-back view changes that drop this node from the
+    view must cancel an armed sync timer — a stale timer would fire after
+    departure and multicast sync requests into a group we left."""
+    from repro.core.events import ViewChange
+
+    c = make_cluster("ABC")
+    dicts = {nid: SharedDict(c.node(nid)) for nid in "ABC"}
+    c.start_all()
+    rb = dicts["C"]
+    rb._synced = False
+    rb._sync_requests_sent = 2
+    rb._arm_sync_timer()
+    assert rb._sync_timer is not None
+    rb.on_view_change(ViewChange(9, ("A", "B"), c.loop.now))
+    assert rb._sync_timer is None
+    assert rb._sync_requests_sent == 0
 
 
 def test_replica_requires_service_name():
