@@ -260,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-alerts", action="store_true",
         help="exit nonzero if any contract-monitor alert fired (CI clean gate)",
     )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="run the sharded multi-ring chaos campaign on the lockstep "
+        "engine instead of the single-ring schedules (uses --seconds, "
+        "--seed, --campaign; other knobs are ignored)",
+    )
 
     p = sub.add_parser(
         "lint",
@@ -291,6 +297,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed fractional slowdown vs the baseline (default 0.30)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="run only the shard-scaling benchmark at 1..K shards and "
+        "print the partition's cut-cost report",
+    )
+    p.add_argument(
+        "--record", metavar="HISTORY.json", nargs="?",
+        const="benchmarks/BENCH_history.json",
+        help="append {git_sha, date, metrics} to a bench history file "
+        "(default benchmarks/BENCH_history.json)",
     )
 
     return parser
@@ -699,6 +716,36 @@ def cmd_soak(args) -> int:
 def cmd_chaos(args) -> int:
     from repro.chaos import ChaosEngine, Schedule, run_campaign, shrink_schedule
 
+    if args.shards is not None:
+        from repro.parallel.campaign import run_sharded_campaign
+
+        if args.shards < 1:
+            return _cli_error(f"--shards must be >= 1, got {args.shards}")
+        failed = 0
+        alerted = 0
+        for i in range(args.campaign):
+            seed = args.seed + i
+            print(f"--- sharded campaign seed={seed} shards={args.shards} ---")
+            result = run_sharded_campaign(
+                seed, args.shards, seconds=args.seconds, log=print
+            )
+            alerted += len(result.alerts)
+            if result.ok:
+                print(
+                    f"clean ({result.result.events} events, "
+                    f"{result.result.epochs} epochs)"
+                )
+            else:
+                failed += 1
+                for alert in result.alerts:
+                    print(f"ALERT: {alert}")
+        if failed:
+            print(f"{failed}/{args.campaign} sharded campaigns alerted")
+        if alerted and args.fail_on_alerts:
+            print("failing: campaign alerts fired (--fail-on-alerts)")
+            return 1
+        return 0
+
     if args.replay:
         try:
             with open(args.replay, encoding="utf-8") as fh:
@@ -876,6 +923,32 @@ def cmd_bench(args) -> int:
 
     from repro import perf
 
+    if args.shards is not None:
+        from repro.parallel import ParallelSimulator
+
+        if args.shards < 1:
+            return _cli_error(f"--shards must be >= 1, got {args.shards}")
+        counts = tuple(k for k in (1, 2, 4, 8) if k <= args.shards)
+        sim = ParallelSimulator("multi_ring", seed=11, params=perf.SCALING_WORKLOAD)
+        print(sim.plan().render_report())
+        knobs = perf.QUICK if args.quick else perf.FULL
+        scaling = perf.bench_shard_scaling(
+            knobs["scaling_sim_seconds"], shard_counts=counts
+        )
+        print(f"cpu_count: {scaling['cpu_count']}  events: {scaling['events']}")
+        for shards, row in scaling["curve"].items():
+            print(
+                f"  shards={shards:>2}: wall={row['wall_seconds']:.3f}s "
+                f"speedup={row['speedup']:.2f}x"
+            )
+        eff = scaling["shard_scaling_efficiency_4x"]
+        if eff is not None:
+            print(f"  efficiency_4x (speedup / min(4, cpus)): {eff:.2f}")
+        if args.out:
+            perf.write_report(args.out, {"schema": 1, "shard_scaling": scaling})
+            print(f"report written to {args.out}")
+        return 0
+
     report = perf.run_suite(quick=args.quick, repeats=args.repeats)
     for name, value in sorted(report["metrics"].items()):
         print(f"{name:>32}: {value:,}" if isinstance(value, int) else
@@ -883,6 +956,18 @@ def cmd_bench(args) -> int:
     if args.out:
         perf.write_report(args.out, report)
         print(f"report written to {args.out}")
+    if args.record:
+        import subprocess
+
+        try:
+            git_sha = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, check=True,
+            ).stdout.strip()
+        except (OSError, subprocess.CalledProcessError):
+            git_sha = "unknown"
+        row = perf.append_history(args.record, report, git_sha=git_sha)
+        print(f"recorded {row['git_sha']} ({row['date']}) in {args.record}")
     if args.check:
         with open(args.check, encoding="utf-8") as fh:
             baseline = json.load(fh)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import random
 from typing import Any, Callable
 
@@ -119,9 +120,15 @@ class EventLoop:
     ) -> TimerHandle:
         """Schedule ``callback(*args)`` at absolute virtual time ``when``.
 
-        ``when`` may not be in the past.  Lower ``priority`` values fire
-        first among events scheduled for the same instant.
+        ``when`` must be finite and may not be in the past.  Lower
+        ``priority`` values fire first among events scheduled for the same
+        instant.
         """
+        if not math.isfinite(when):
+            # A NaN heap key silently corrupts sift ordering (every
+            # comparison is False) and breaks deterministic replay; +/-inf
+            # is a scheduling bug that would otherwise wedge run_until.
+            raise ValueError(f"when must be finite, got {when}")
         if when < self.clock.now:
             raise ValueError(
                 f"cannot schedule in the past: {when} < now={self.clock.now}"
@@ -139,8 +146,10 @@ class EventLoop:
         priority: int = 0,
     ) -> TimerHandle:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
-        if delay < 0.0:
-            raise ValueError(f"delay must be non-negative, got {delay}")
+        if not delay >= 0.0 or delay == math.inf:
+            # The inverted comparison also rejects NaN (NaN >= 0.0 is
+            # False), which would otherwise corrupt heap order silently.
+            raise ValueError(f"delay must be finite and non-negative, got {delay}")
         # Inlined call_at: delay >= 0 means when >= now by construction.
         when = self.clock.now + delay
         seq = next(self._seq)
@@ -211,6 +220,48 @@ class EventLoop:
             executed += 1
         if deadline > clock.now:
             clock.advance_to(deadline)
+        return executed
+
+    def run_epoch(self, end: float, max_events: int | None = None) -> int:
+        """Run all events *strictly before* virtual time ``end``.
+
+        This is the lockstep primitive of the sharded simulator
+        (:mod:`repro.parallel`): epoch *k* owns the half-open interval
+        ``[k*E, (k+1)*E)``, so an event timestamped exactly at the epoch
+        boundary belongs to the *next* epoch — it must not run until the
+        cross-shard batches for that boundary have been injected.  The
+        clock is left exactly at ``end`` so epoch-boundary injections may
+        schedule events at ``end`` itself (``call_at(end, ...)`` is legal
+        once ``now == end``).  Returns the number of events executed.
+        """
+        if end < self.clock.now:
+            raise ValueError(
+                f"epoch end {end} is before now={self.clock.now}"
+            )
+        executed = 0
+        heap = self._heap
+        clock = self.clock
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            handle = entry[3]
+            if handle.cancelled:
+                pop(heap)
+                continue
+            when = entry[0]
+            if when >= end:
+                break
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"run_epoch exceeded max_events={max_events} before {end}"
+                )
+            pop(heap)
+            clock.advance_to(when)
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            executed += 1
+        if end > clock.now:
+            clock.advance_to(end)
         return executed
 
     def run_for(self, duration: float, max_events: int | None = None) -> int:

@@ -45,6 +45,7 @@ __all__ = [
     "event_record",
     "event_from_record",
     "events_to_jsonl",
+    "renumber_events",
 ]
 
 #: kind -> positional field names.  ``emit`` validates arity against this
@@ -205,6 +206,19 @@ def event_from_record(record: dict) -> ProbeEvent:
     return ProbeEvent(
         record["n"], record["at"], record["node"], record["kind"], args
     )
+
+
+def renumber_events(events: Iterable[ProbeEvent]) -> list[ProbeEvent]:
+    """Reassign ordinals 1..N in the given order, keeping all else intact.
+
+    Used when canonicalizing merged per-shard streams: ``n`` is a
+    per-bus emission counter, so a merged stream must renumber in its
+    canonical order to stay byte-stable (see repro.parallel.merge).
+    """
+    return [
+        ProbeEvent(i + 1, e.at, e.node, e.kind, e.args)
+        for i, e in enumerate(events)
+    ]
 
 
 def events_to_jsonl(events: Iterable[ProbeEvent]) -> str:

@@ -1,0 +1,40 @@
+"""Sharded parallel simulator: conservative lockstep-epoch engine.
+
+Partitions a topology into natural shard groups (connected components
+once deterministic *trunk* segments are cut), runs each group's event
+loop in lockstep epochs bounded by the minimum trunk latency, and
+exchanges cross-shard packets as canonically-ordered batches at epoch
+boundaries — so one seed yields identical trace bytes at any shard
+count.  See docs/PARALLEL.md for the model and determinism contract.
+"""
+
+from repro.parallel.coordinator import (
+    ParallelRunResult,
+    ParallelSimulator,
+    available_cpus,
+)
+from repro.parallel.exchange import SerialExchange, WorkerExchange
+from repro.parallel.merge import merge_probe_events, merged_stream_jsonl
+from repro.parallel.partition import (
+    CutEdge,
+    ShardGroup,
+    ShardPlan,
+    partition_topology,
+)
+from repro.parallel.workloads import WORKLOADS, build_workload
+
+__all__ = [
+    "CutEdge",
+    "ParallelRunResult",
+    "ParallelSimulator",
+    "SerialExchange",
+    "ShardGroup",
+    "ShardPlan",
+    "WORKLOADS",
+    "WorkerExchange",
+    "available_cpus",
+    "build_workload",
+    "merge_probe_events",
+    "merged_stream_jsonl",
+    "partition_topology",
+]

@@ -1,0 +1,272 @@
+"""Sharded simulation coordinator: serial and process-parallel engines.
+
+:class:`ParallelSimulator` partitions a registered workload's topology
+into natural shard groups and runs it to a horizon in one of two modes:
+
+* **serial** — every group on the one in-process event loop, with a
+  :class:`~repro.parallel.exchange.SerialExchange` batching trunk packets
+  per epoch.  This is the ``shards=1`` engine and the reference semantics.
+* **process** — groups placed onto K worker processes (greedy balanced,
+  deterministic), each running its own event loop in lockstep epochs, with
+  the coordinator routing each epoch's trunk batches between workers over
+  pipes (hub-and-spoke, one barrier per epoch).
+
+Both modes compute the identical epoch boundaries (``(k+1) * lookahead``),
+push every trunk packet — even between co-located groups — through the
+same canonically-ordered exchange path, and canonicalize the merged probe
+stream, so for a fixed seed the trace bytes are a function of the workload
+and horizon alone, never of the shard count (docs/PARALLEL.md).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any
+
+from repro.obs.probe import ProbeEvent
+from repro.parallel.exchange import SerialExchange
+from repro.parallel.merge import merge_probe_events, merged_stream_jsonl
+from repro.parallel.partition import ShardPlan, partition_topology
+from repro.parallel.worker import epoch_boundaries, events_from_wire, worker_main
+from repro.parallel.workloads import build_workload
+
+__all__ = ["ParallelRunResult", "ParallelSimulator"]
+
+
+class ParallelRunResult:
+    """Outcome of one sharded run (any mode)."""
+
+    __slots__ = (
+        "mode",
+        "shards",
+        "events",
+        "epochs",
+        "facts",
+        "assignment",
+        "probe_streams",
+    )
+
+    def __init__(
+        self,
+        mode: str,
+        shards: int,
+        events: int,
+        epochs: int,
+        facts: dict[str, Any],
+        assignment: tuple[int, ...],
+        probe_streams: list[list[ProbeEvent]],
+    ) -> None:
+        self.mode = mode
+        self.shards = shards
+        #: Total events executed across all shard loops.
+        self.events = events
+        self.epochs = epochs
+        #: Merged deterministic end-of-run facts from every shard.
+        self.facts = facts
+        #: Group index -> worker index placement used for the run.
+        self.assignment = assignment
+        self.probe_streams = probe_streams
+
+    def probe_events(self) -> list[ProbeEvent]:
+        """Canonically merged probe stream (shard-count invariant)."""
+        return merge_probe_events(self.probe_streams)
+
+    def stream_jsonl(self) -> str:
+        """Canonical merged probe stream as JSONL (golden-trace format)."""
+        return merged_stream_jsonl(self.probe_streams)
+
+
+class ParallelSimulator:
+    """Plan and run a registered workload across shard workers."""
+
+    def __init__(
+        self, workload: str, seed: int, params: dict | None = None
+    ) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.params = dict(params or {})
+        self._plan: ShardPlan | None = None
+
+    def plan(self) -> ShardPlan:
+        """The natural shard plan (computed once, from topology alone)."""
+        if self._plan is None:
+            skeleton = build_workload(
+                self.workload, self.seed, self.params, active=frozenset()
+            )
+            self._plan = partition_topology(
+                skeleton.topology,
+                trunk_segments=skeleton.trunk_segments or None,
+            )
+        return self._plan
+
+    def run(
+        self,
+        horizon: float,
+        shards: int = 1,
+        mode: str = "auto",
+        probes: bool = False,
+        prepare: Any = None,
+    ) -> ParallelRunResult:
+        """Run to ``horizon`` on ``shards`` workers.
+
+        ``mode`` is ``"serial"`` (one process regardless of ``shards``,
+        used by the chaos campaign and as the reference), ``"process"``
+        (one OS process per shard), or ``"auto"`` (serial iff shards==1).
+
+        ``prepare`` is an optional callable receiving the built
+        :class:`~repro.parallel.workloads.WorkloadInstance` before it
+        starts — the chaos campaign uses it to arm fault timers.  Serial
+        mode only: closures cannot cross process boundaries.
+        """
+        if mode == "auto":
+            mode = "serial" if shards == 1 else "process"
+        if mode == "serial":
+            return self._run_serial(horizon, shards, probes, prepare)
+        if mode == "process":
+            if prepare is not None:
+                raise ValueError(
+                    "prepare hooks are serial-only: a closure cannot be "
+                    "shipped to shard worker processes"
+                )
+            return self._run_process(horizon, shards, probes)
+        raise ValueError(f"unknown mode {mode!r} (serial|process|auto)")
+
+    # ------------------------------------------------------------------
+    # serial engine
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, horizon: float, shards: int, probes: bool, prepare: Any = None
+    ) -> ParallelRunResult:
+        plan = self.plan()
+        assignment = plan.assign(min(shards, len(plan.groups)))
+        instance = build_workload(self.workload, self.seed, self.params)
+
+        recorded: list[ProbeEvent] = []
+        if probes:
+            bus = instance.enable_probes()
+            bus.subscribe(recorded.append)
+
+        if prepare is not None:
+            prepare(instance)
+        instance.start()
+        events = 0
+        epochs = 0
+        if not plan.cut:
+            # No trunk segments: nothing to exchange, classic single loop.
+            events = instance.loop.run_until(horizon)
+        else:
+            exchange = SerialExchange(instance.network)
+            instance.network.set_exchange(exchange, frozenset(plan.trunks))
+            for end in epoch_boundaries(horizon, plan.lookahead):
+                events += instance.loop.run_epoch(end)
+                exchange.flush_epoch()
+                epochs += 1
+        return ParallelRunResult(
+            mode="serial",
+            shards=shards,
+            events=events,
+            epochs=epochs,
+            facts=instance.collect(),
+            assignment=assignment,
+            probe_streams=[recorded],
+        )
+
+    # ------------------------------------------------------------------
+    # process engine
+    # ------------------------------------------------------------------
+    def _run_process(
+        self, horizon: float, shards: int, probes: bool
+    ) -> ParallelRunResult:
+        plan = self.plan()
+        if not plan.cut:
+            raise ValueError(
+                "topology has a single shard group (no trunk cut); "
+                "process mode cannot split it — use serial"
+            )
+        assignment = plan.assign(shards)
+        boundaries = epoch_boundaries(horizon, plan.lookahead)
+
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        ctx = multiprocessing.get_context(method)
+        pipes = [ctx.Pipe(duplex=True) for _ in range(shards)]
+        workers = [
+            ctx.Process(
+                target=worker_main,
+                args=(
+                    child,
+                    self.workload,
+                    self.params,
+                    self.seed,
+                    w,
+                    assignment,
+                    horizon,
+                    probes,
+                ),
+                name=f"repro-shard-{w}",
+            )
+            for w, (_parent, child) in enumerate(pipes)
+        ]
+        conns = [parent for parent, _child in pipes]
+        for proc in workers:
+            proc.start()
+        for _parent, child in pipes:
+            child.close()
+
+        try:
+            for k in range(len(boundaries)):
+                outbound: list[dict[int, list]] = []
+                for w, conn in enumerate(conns):
+                    tag, got_k, batches = conn.recv()
+                    if tag != "batch" or got_k != k:
+                        raise RuntimeError(
+                            f"coordinator: epoch protocol desync from worker "
+                            f"{w}: expected batch/{k}, got {tag}/{got_k}"
+                        )
+                    outbound.append(batches)
+                for w, conn in enumerate(conns):
+                    inbound = [
+                        batches[w] for batches in outbound if w in batches
+                    ]
+                    conn.send(("inject", k, inbound))
+
+            streams: list[list[ProbeEvent]] = []
+            facts: dict[str, Any] = {}
+            events = 0
+            for w, conn in enumerate(conns):
+                tag, probe_records, worker_facts, worker_events = conn.recv()
+                if tag != "result":
+                    raise RuntimeError(
+                        f"coordinator: expected result from worker {w}, "
+                        f"got {tag}"
+                    )
+                streams.append(events_from_wire(probe_records))
+                facts.update(worker_facts)
+                events += worker_events
+            for proc in workers:
+                proc.join(timeout=30.0)
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in workers:
+                if proc.is_alive():  # pragma: no cover - crash cleanup
+                    proc.terminate()
+                    proc.join()
+
+        return ParallelRunResult(
+            mode="process",
+            shards=shards,
+            events=events,
+            epochs=len(boundaries),
+            facts=dict(sorted(facts.items())),
+            assignment=assignment,
+            probe_streams=streams,
+        )
+
+
+def available_cpus() -> int:
+    """Usable CPU count (for efficiency normalization in benchmarks)."""
+    return os.cpu_count() or 1
+
+
+__all__.append("available_cpus")

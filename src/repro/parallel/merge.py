@@ -1,0 +1,42 @@
+"""Canonical probe-stream merge for sharded runs.
+
+Each shard worker records its own probe stream with worker-local emission
+ordinals.  To make the *merged* stream a pure function of the shard plan —
+identical bytes for ``shards=1`` and ``shards=K`` — the merge:
+
+1. stably sorts all events by ``(at, node)``: virtual time first, then
+   node id for same-instant events from different nodes.  Within one
+   ``(at, node)`` pair all events come from a single worker (a node lives
+   on exactly one shard), so the stable sort preserves that worker's local
+   emission order — which the determinism contract guarantees is
+   placement-invariant;
+2. renumbers ``n`` 1..N in merged order, replacing the worker-local
+   ordinals.
+
+The output therefore matches what a ``shards=1`` serial run emits, byte
+for byte, once serialized with ``events_to_jsonl``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.probe import ProbeEvent, events_to_jsonl, renumber_events
+
+__all__ = ["merge_probe_events", "merged_stream_jsonl"]
+
+
+def merge_probe_events(
+    streams: Iterable[Iterable[ProbeEvent]],
+) -> list[ProbeEvent]:
+    """Merge per-shard probe streams into one canonical stream."""
+    merged: list[ProbeEvent] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda e: (e.at, e.node))
+    return renumber_events(merged)
+
+
+def merged_stream_jsonl(streams: Iterable[Iterable[ProbeEvent]]) -> str:
+    """Canonical merged stream, serialized (golden-trace format)."""
+    return events_to_jsonl(merge_probe_events(streams))

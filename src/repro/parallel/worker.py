@@ -1,0 +1,143 @@
+"""Shard worker process: one event loop per worker, lockstep epochs.
+
+Each worker builds the *full* topology from the registered workload (so
+addressing and routing are identical everywhere) but activates only the
+nodes of its assigned shard groups.  It then runs the conservative epoch
+loop against the coordinator over a pipe:
+
+``("batch", k, {peer: records})``  worker → coordinator after epoch k
+``("inject", k, records)``         coordinator → worker before epoch k+1
+``("result", probe_records, facts, events)``  worker → coordinator at end
+
+The epoch boundaries are computed as ``(k + 1) * epoch`` from epoch
+*indices* — never by accumulating floats — so every worker and the serial
+engine agree on the exact boundary values (docs/PARALLEL.md).
+
+Workload builders and payload classes are module-level and looked up by
+registry name, so the protocol is spawn-safe even though fork is the
+preferred start method.
+"""
+
+from __future__ import annotations
+
+from multiprocessing.connection import Connection
+
+from repro.net.datagram import Datagram
+from repro.obs.probe import ProbeEvent, event_from_record, event_record
+from repro.parallel.exchange import BatchRecord, WorkerExchange, merge_and_inject
+from repro.parallel.partition import partition_topology
+from repro.parallel.workloads import build_workload
+
+__all__ = ["epoch_boundaries", "worker_main"]
+
+
+def epoch_boundaries(horizon: float, epoch: float) -> list[float]:
+    """Exclusive epoch end times covering ``[0, horizon]``.
+
+    Boundaries are ``epoch, 2*epoch, ...`` computed by multiplication (one
+    rounding each, identical in every process), with the final boundary
+    clamped to ``horizon``.
+    """
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if epoch <= 0.0:
+        raise ValueError(f"epoch length must be positive, got {epoch}")
+    ends: list[float] = []
+    k = 1
+    while True:
+        end = k * epoch
+        if end >= horizon:
+            ends.append(horizon)
+            return ends
+        ends.append(end)
+        k += 1
+
+
+def _wire_batch(records: list[BatchRecord]) -> list[tuple]:
+    """Pickle-stable wire form of an outbound batch (pure data tuples)."""
+    return [
+        (when, src, dst, idx, packet.payload, packet.size)
+        for when, src, dst, idx, packet in records
+    ]
+
+
+def _unwire_batch(wire: list[tuple]) -> list[BatchRecord]:
+    return [
+        (when, src, dst, idx, Datagram(src, dst, payload, size))
+        for when, src, dst, idx, payload, size in wire
+    ]
+
+
+def worker_main(
+    conn: Connection,
+    workload: str,
+    params: dict,
+    seed: int,
+    worker_index: int,
+    assignment: tuple[int, ...],
+    horizon: float,
+    probes: bool,
+) -> None:
+    """Entry point of one shard worker process."""
+    # Topology-only build (active=∅) to derive the plan identically to the
+    # coordinator, then the real build activating this worker's nodes.
+    skeleton = build_workload(workload, seed, params, active=frozenset())
+    plan = partition_topology(
+        skeleton.topology, trunk_segments=skeleton.trunk_segments or None
+    )
+    mine = frozenset(
+        node_id
+        for group in plan.groups
+        if assignment[group.index] == worker_index
+        for node_id in group.nodes
+    )
+    instance = build_workload(workload, seed, params, active=mine)
+
+    worker_of_addr: dict[str, int] = {}
+    for edge in plan.cut:
+        for addr in sorted(instance.topology.segment(edge.segment).attached):
+            owner = instance.topology.owner_of(addr)
+            worker_of_addr[addr] = assignment[plan.group_of(owner)]
+
+    exchange = WorkerExchange(instance.network, worker_of_addr, worker_index)
+    instance.network.set_exchange(exchange, frozenset(plan.trunks))
+
+    recorded: list[ProbeEvent] = []
+    if probes:
+        bus = instance.enable_probes()
+        bus.subscribe(recorded.append)
+
+    instance.start()
+    events = 0
+    for k, end in enumerate(epoch_boundaries(horizon, plan.lookahead)):
+        events += instance.loop.run_epoch(end)
+        local, outbound = exchange.drain_epoch()
+        conn.send(
+            ("batch", k, {w: _wire_batch(b) for w, b in outbound.items()})
+        )
+        tag, got_k, inbound_wire = conn.recv()
+        if tag != "inject" or got_k != k:
+            raise RuntimeError(
+                f"worker {worker_index}: epoch protocol desync, "
+                f"expected inject/{k}, got {tag}/{got_k}"
+            )
+        merge_and_inject(
+            instance.network, local, [_unwire_batch(w) for w in inbound_wire]
+        )
+    conn.send(
+        (
+            "result",
+            [event_record(e) for e in recorded],
+            instance.collect(),
+            events,
+        )
+    )
+    conn.close()
+
+
+def events_from_wire(records: list[dict]) -> list[ProbeEvent]:
+    """Rebuild a worker's recorded probe stream from its result message."""
+    return [event_from_record(r) for r in records]
+
+
+__all__.append("events_from_wire")

@@ -1,0 +1,19 @@
+"""Fixture: cross-shard access bypassing the exchange (all flagged)."""
+
+
+class BadCoordinator:
+    def __init__(self, shards):
+        self.shards = shards
+
+    def poke_peer_loop(self, i, when, fn):
+        self.shards[i].loop.call_at(when, fn)  # RC206: schedule into peer
+
+    def poke_peer_network(self, k, src, dst, payload):
+        self.shards[k].network.send(src, dst, payload, 10)  # RC206
+
+    def poke_peer_state(self, i):
+        self.shards[i].node.epoch = 7  # RC206: assign into peer object
+
+
+def free_function(workers, i):
+    workers[i].nodes["n0"].crash()  # RC206: mutate through collection

@@ -1,0 +1,31 @@
+"""Fixture: sanctioned shapes that RC206 must not flag."""
+
+
+class GoodExchange:
+    """Exchange classes are the sanctioned cross-shard path (exempt)."""
+
+    def __init__(self, shards):
+        self.shards = shards
+
+    def flush(self, i, packet, when):
+        self.shards[i].network.send(packet.src, packet.dst, packet, 1)
+
+
+class GoodCoordinator:
+    def __init__(self, ctx, n):
+        # Building the collection is legal: subscript *stores* are fine.
+        self.workers = {}
+        for i in range(n):
+            self.workers[i] = ctx.Process(target=None)
+
+    def route(self, exchange, packet, when):
+        # Cross-shard traffic through the exchange: the sanctioned path.
+        exchange.submit(packet, when)
+
+    def local_only(self, instance, when, fn):
+        # Scheduling into *your own* loop is not a cross-shard access.
+        instance.loop.call_at(when, fn)
+
+    def read_peer(self, i):
+        # Reads are allowed (reporting/asserts); only mutators fire.
+        return self.workers[i].exitcode

@@ -145,3 +145,52 @@ def test_peek_time_skips_cancelled():
     loop.call_later(0.7, lambda: None)
     h.cancel()
     assert loop.peek_time() == pytest.approx(0.7)
+
+
+def test_non_finite_when_rejected():
+    # Regression: NaN/inf timestamps used to sink silently into the heap,
+    # poisoning every later comparison (NaN compares false with everything).
+    loop = EventLoop()
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError):
+            loop.call_at(bad, lambda: None)
+
+
+def test_non_finite_delay_rejected():
+    loop = EventLoop()
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(ValueError):
+            loop.call_later(bad, lambda: None)
+
+
+def test_run_epoch_strict_boundary():
+    # run_epoch owns [now, end): an event exactly at the boundary must NOT
+    # run, and must fire first thing in the next epoch.
+    loop = EventLoop()
+    fired = []
+    loop.call_at(0.5, fired.append, "inside")
+    loop.call_at(1.0, fired.append, "edge")
+    assert loop.run_epoch(1.0) == 1
+    assert fired == ["inside"]
+    assert loop.now == 1.0
+    assert loop.run_epoch(2.0) == 1
+    assert fired == ["inside", "edge"]
+
+
+def test_run_epoch_rejects_past_end():
+    loop = EventLoop()
+    loop.run_epoch(1.0)
+    with pytest.raises(ValueError):
+        loop.run_epoch(0.5)
+
+
+def test_run_epoch_allows_scheduling_at_boundary():
+    # After run_epoch(end) the clock sits at end with the boundary event
+    # still pending; call_at(end) from outside must be legal (the exchange
+    # injects arrivals exactly at epoch boundaries).
+    loop = EventLoop()
+    fired = []
+    loop.run_epoch(1.0)
+    loop.call_at(1.0, fired.append, "injected")
+    loop.run_epoch(2.0)
+    assert fired == ["injected"]

@@ -49,7 +49,7 @@ def test_rule_catalogue_is_complete():
     assert set(RULES) == {
         "RC000", "RC001", "RC002", "RC003",
         "RC101", "RC102", "RC103", "RC104", "RC105",
-        "RC201", "RC202", "RC203", "RC204", "RC205",
+        "RC201", "RC202", "RC203", "RC204", "RC205", "RC206",
         "RC301", "RC302",
         "RC401", "RC402", "RC403",
     }
@@ -201,6 +201,26 @@ def test_rc205_only_applies_to_data_and_transport(tmp_path):
         FIXTURES / "rc205" / "repro" / "data" / "bad_buffer.py"
     ).read_text()
     target = tmp_path / "coldpath.py"
+    target.write_text(source, encoding="utf-8")
+    report = lint_paths(target)
+    assert report.ok, format_human(report)
+
+
+def test_rc206_cross_shard_access():
+    report = lint_paths(FIXTURES / "rc206")
+    assert fired(report) == {"RC206"}
+    # bad_cross.py: peer-loop call_at, peer-network send, attribute
+    # assignment into a peer object, and a crash() through a collection.
+    assert count(report, "RC206") == 4
+    assert all(v.file.endswith("bad_cross.py") for v in report.violations)
+
+
+def test_rc206_only_applies_to_parallel(tmp_path):
+    # The same source outside repro/parallel/ must not be flagged.
+    source = (
+        FIXTURES / "rc206" / "repro" / "parallel" / "bad_cross.py"
+    ).read_text()
+    target = tmp_path / "orchestrator.py"
     target.write_text(source, encoding="utf-8")
     report = lint_paths(target)
     assert report.ok, format_human(report)

@@ -1,0 +1,80 @@
+"""Golden byte-identity across shard counts (the sharded-engine contract).
+
+docs/PARALLEL.md's determinism contract says: for a fixed seed, the
+canonical probe stream of a sharded run is a function of the workload and
+horizon alone — the shard count and the process/serial engine choice must
+not change a byte.  This file pins that contract two ways:
+
+* shards=1 (serial), shards=2 and shards=4 (process) streams are compared
+  byte-for-byte against each other in one run;
+* the serial stream's sha256 and event counts are pinned in
+  ``golden_parallel_seed7.json``, so a regression that shifts *all*
+  engines together (and would pass the cross-engine comparison) still
+  trips the committed artifact.
+
+If an intentional model change invalidates the artifact, regenerate with
+``python tests/test_parallel_golden.py`` and justify the diff in the PR.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+PARALLEL_GOLDEN = os.path.join(DATA_DIR, "golden_parallel_seed7.json")
+
+SEED = 7
+PARAMS = {"rings": 4, "ring_size": 3}
+HORIZON = 2.0
+
+
+def run_stream(shards: int, mode: str):
+    from repro.parallel import ParallelSimulator
+
+    sim = ParallelSimulator("multi_ring", SEED, PARAMS)
+    return sim.run(HORIZON, shards=shards, mode=mode, probes=True)
+
+
+def record_golden():
+    result = run_stream(1, "serial")
+    stream = result.stream_jsonl()
+    return {
+        "workload": dict(PARAMS, seed=SEED, horizon=HORIZON),
+        "stream_sha256": hashlib.sha256(stream.encode()).hexdigest(),
+        "probe_events": len(result.probe_events()),
+        "loop_events": result.events,
+        "facts_sha256": hashlib.sha256(
+            json.dumps(result.facts, sort_keys=True, default=str).encode()
+        ).hexdigest(),
+    }
+
+
+def test_stream_bytes_identical_across_shard_counts():
+    serial = run_stream(1, "serial")
+    reference = serial.stream_jsonl()
+    for shards in (2, 4):
+        sharded = run_stream(shards, "process")
+        assert sharded.stream_jsonl() == reference, (
+            f"shards={shards} probe stream diverged from serial"
+        )
+        assert sharded.facts == serial.facts
+        assert sharded.events == serial.events
+
+
+def test_serial_stream_matches_committed_golden():
+    with open(PARALLEL_GOLDEN, encoding="utf-8") as fh:
+        golden = json.load(fh)
+    assert record_golden() == golden, (
+        "sharded-engine golden artifact diverged; if the model change is "
+        "intentional, regenerate with `python tests/test_parallel_golden.py` "
+        "and justify the diff in the PR"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    with open(PARALLEL_GOLDEN, "w", encoding="utf-8") as fh:
+        json.dump(record_golden(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {PARALLEL_GOLDEN}")

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro import perf
 from repro.cli import main
 
@@ -19,10 +21,14 @@ def test_run_suite_quick_reports_all_metrics():
         "probe_overhead_ratio",
         "monitor_overhead_ratio",
         "resync_overhead_ratio",
+        "shard_scaling_efficiency_4x",
     }
     assert all(v > 0 for v in metrics.values())
     assert report["quick"] is True
     assert report["workload"]["ring_nodes"] == 8
+    scaling = report["shard_scaling"]
+    assert set(scaling["curve"]) == {"1", "2", "4", "8"}
+    assert scaling["curve"]["1"]["speedup"] == 1.0
 
 
 def test_compare_passes_identical_reports():
@@ -73,4 +79,36 @@ def test_cli_bench_writes_report_and_gates(tmp_path, capsys):
     trivial = tmp_path / "trivial.json"
     trivial.write_text(json.dumps({"metrics": {"loaded_ring_events_per_sec": 1}}))
     assert main(["bench", "--quick", "--repeats", "1", "--check", str(trivial)]) == 0
+    capsys.readouterr()
+
+
+def test_append_history_creates_and_appends(tmp_path):
+    path = tmp_path / "history.json"
+    report = {"quick": True, "metrics": {"loaded_ring_events_per_sec": 123}}
+    row = perf.append_history(str(path), report, git_sha="abc1234", label="first")
+    assert row["git_sha"] == "abc1234"
+    assert row["date"]  # stamped inside perf (RC101: wall clock lives here)
+    perf.append_history(str(path), report, git_sha="def5678")
+    history = json.loads(path.read_text())
+    assert history["schema"] == 1
+    assert [r["git_sha"] for r in history["rows"]] == ["abc1234", "def5678"]
+    assert history["rows"][0]["label"] == "first"
+    assert history["rows"][1]["metrics"]["loaded_ring_events_per_sec"] == 123
+
+
+def test_append_history_rejects_foreign_file(tmp_path):
+    path = tmp_path / "notes.json"
+    path.write_text(json.dumps({"something": "else"}))
+    with pytest.raises(ValueError, match="rows"):
+        perf.append_history(str(path), {"metrics": {}}, git_sha="abc")
+
+
+def test_cli_bench_record_appends_row(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    path = tmp_path / "hist.json"
+    assert main(["bench", "--quick", "--repeats", "1", "--record", str(path)]) == 0
+    history = json.loads(path.read_text())
+    assert len(history["rows"]) == 1
+    assert history["rows"][0]["quick"] is True
+    assert history["rows"][0]["metrics"]["loaded_ring_events_per_sec"] > 0
     capsys.readouterr()
