@@ -276,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(p)
 
     p = sub.add_parser(
+        "spec",
+        help="rainspec: protocol spec conformance, model checking, rendering",
+    )
+    from repro.spec.cli import add_spec_arguments
+
+    add_spec_arguments(p)
+
+    p = sub.add_parser(
         "bench", help="simulator throughput benchmarks and regression gate"
     )
     p.add_argument(
@@ -918,6 +926,12 @@ def cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def cmd_spec(args) -> int:
+    from repro.spec.cli import cmd_spec as run_spec
+
+    return run_spec(args)
+
+
 def cmd_bench(args) -> int:
     import json
 
@@ -994,6 +1008,7 @@ _COMMANDS = {
     "soak": cmd_soak,
     "chaos": cmd_chaos,
     "lint": cmd_lint,
+    "spec": cmd_spec,
     "bench": cmd_bench,
 }
 

@@ -69,14 +69,17 @@ from typing import Any
 from repro.core.events import Delivery, SessionListener, ViewChange, ensure_composite
 from repro.core.multicast import DeferredPayload
 from repro.core.session import RaincoreNode
+from repro.core.states import NodeState
 from repro.data.resync import (
     GENESIS_DIGEST,
+    ContinuationPoint,
     ResyncAck,
     ResyncDelta,
     ResyncSnapshot,
     SegmentedLog,
     state_digest,
 )
+from repro.transport.messages import stream_message
 
 __all__ = ["ReplicaBase", "SyncRequest"]
 
@@ -91,6 +94,7 @@ SELF_DECLARE_AFTER = 3
 GROWTH_DEFER_RETRIES = 3.0
 
 
+@stream_message
 @dataclass(frozen=True)
 class SyncRequest:
     """An unsynced replica asking the group for catch-up.
@@ -165,7 +169,7 @@ class ReplicaBase(SessionListener):
         return self._applied_seq
 
     @property
-    def continuation(self):
+    def continuation(self) -> ContinuationPoint:
         """The log's current certified continuation point."""
         return self._log.cont
 
@@ -363,7 +367,7 @@ class ReplicaBase(SessionListener):
         (forced prune), the factory degrades to a snapshot.
         """
 
-        def materialize():
+        def materialize() -> tuple[ResyncDelta | ResyncSnapshot, int]:
             if self._log.digest_at(from_seq) == from_digest:
                 entries = tuple(self._log.entries_after(from_seq))
                 delta = ResyncDelta(
@@ -393,7 +397,7 @@ class ReplicaBase(SessionListener):
         )
 
     def _multicast_snapshot(self) -> None:
-        def materialize():
+        def materialize() -> tuple[ResyncSnapshot, int]:
             snap = self._materialize_snapshot()
             return snap, snap.wire_size()
 
@@ -504,9 +508,7 @@ class ReplicaBase(SessionListener):
     # ------------------------------------------------------------------
     # lifecycle: a restart is amnesia
     # ------------------------------------------------------------------
-    def on_state_change(self, old, new) -> None:
-        from repro.core.states import NodeState
-
+    def on_state_change(self, old: NodeState, new: NodeState) -> None:
         if new is NodeState.DOWN:
             # Crash/shutdown: a timer left armed here would fire on the
             # dead node and try to multicast.

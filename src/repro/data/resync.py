@@ -37,6 +37,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.transport.messages import stream_message
+
 __all__ = [
     "GENESIS_DIGEST",
     "chain_digest",
@@ -275,6 +277,7 @@ class SegmentedLog:
 # ----------------------------------------------------------------------
 # wire messages (ride the agreed-ordered multicast)
 # ----------------------------------------------------------------------
+@stream_message
 @dataclass(frozen=True)
 class ResyncAck:
     """A replica certifying its applied position ``(seq, digest)``.
@@ -293,6 +296,7 @@ class ResyncAck:
         return 24 + len(self.service) + len(self.digest)
 
 
+@stream_message
 @dataclass(frozen=True)
 class ResyncDelta:
     """Certified catch-up for an in-window peer: the retained tail after
@@ -309,6 +313,7 @@ class ResyncDelta:
         return 32 + len(self.service) + sum(e.size + 24 for e in self.entries)
 
 
+@stream_message
 @dataclass(frozen=True)
 class ResyncSnapshot:
     """Continuation-point state transfer: the service snapshot plus the

@@ -76,7 +76,9 @@ class ReadWriteLockManager(SessionListener):
         """Request an exclusive grant on ``lock``."""
         return self._acquire(lock, "w", on_granted)
 
-    def _acquire(self, lock: str, mode: str, on_granted) -> int:
+    def _acquire(
+        self, lock: str, mode: str, on_granted: Callable[[], None] | None
+    ) -> int:
         key = (lock, mode)
         if key in self._mine:
             raise RuntimeError(

@@ -891,3 +891,50 @@ def check_monitor_rule_purity(ctx: FileContext) -> Iterator[FileFinding]:
                     f".now read in contract rule {fn.name}: the window's "
                     "start/end are the only clock a rule may consult",
                 )
+
+
+# ----------------------------------------------------------------------
+# RC5xx — spec conformance (rainspec drift gate)
+# ----------------------------------------------------------------------
+#: One extraction per engine run: every RC5xx rule diffs the same
+#: recovered machine, so the work is shared across the six rules.
+_SPEC_DRIFT_CACHE: tuple[int, list] | None = None
+
+
+def _spec_drift(project: Project) -> list:
+    """Extract the implemented protocol machine and diff it against
+    :data:`repro.spec.protocol.PROTOCOL_SPEC` (memoized per project)."""
+    global _SPEC_DRIFT_CACHE
+    if _SPEC_DRIFT_CACHE is not None and _SPEC_DRIFT_CACHE[0] == id(project):
+        return _SPEC_DRIFT_CACHE[1]
+    from repro.spec.extract import diff_against_spec, extract_project
+
+    extraction = extract_project([(ctx.path, ctx.tree) for ctx in project.files])
+    findings = diff_against_spec(extraction)
+    _SPEC_DRIFT_CACHE = (id(project), findings)
+    return findings
+
+
+def _spec_rule(rule_id: str):
+    def checker(project: Project) -> Iterator[ProjectFinding]:
+        for f in _spec_drift(project):
+            if f.rule == rule_id:
+                yield (f.path, f.line, 0, f.message)
+
+    checker.__name__ = f"check_spec_drift_{rule_id.lower()}"
+    return checker
+
+
+_SPEC_RULE_SUMMARIES = {
+    "RC501": "registered message kind with no dispatch arm",
+    "RC502": "dispatch arm unknown to the spec (or wrong handler)",
+    "RC503": "spec exchange not implemented / its arm is missing",
+    "RC504": "handler emits drift from the spec",
+    "RC505": "handler transitions/guard-states drift from the spec",
+    "RC506": "handler delegation drift from the spec",
+}
+
+for _rule_id in sorted(_SPEC_RULE_SUMMARIES):
+    rule(_rule_id, _SPEC_RULE_SUMMARIES[_rule_id], scope="project")(
+        _spec_rule(_rule_id)
+    )

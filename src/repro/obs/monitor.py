@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.obs.probe import ProbeBus, ProbeEvent
+from repro.spec.protocol import LIFECYCLE as _SPEC_LIFECYCLE_PAIRS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import RaincoreConfig
@@ -365,6 +366,39 @@ def check_buffer_bound(w: RuleWindow) -> Breach | None:
     return worst
 
 
+#: Allowed ``node.state`` probe transitions, derived from the protocol
+#: spec's lifecycle table (probe args carry lowercase ``NodeState.value``).
+_SPEC_LIFECYCLE: frozenset[tuple[str, str]] = frozenset(
+    (src.lower(), dst.lower()) for src, dst in _SPEC_LIFECYCLE_PAIRS
+)
+
+
+@contract_rule("state-transitions")
+def check_state_transitions(w: RuleWindow) -> Breach | None:
+    """Every observed lifecycle transition is allowed by the spec.
+
+    The spec's lifecycle table (``repro.spec.protocol.LIFECYCLE``) is the
+    same data ``repro spec check`` diffs against
+    ``repro.core.states.VALID_TRANSITIONS``; this rule closes the loop at
+    runtime, so a node driven through an undeclared transition (by a bug
+    or a bypassed ``_transition``) raises an alert even though the static
+    gates passed.
+    """
+    worst: Breach | None = None
+    illegal = 0
+    for e in w.kinds("node.state"):
+        old, new = str(e.args[0]), str(e.args[1])
+        if (old, new) not in _SPEC_LIFECYCLE:
+            illegal += 1
+            worst = (
+                float(illegal),
+                0.0,
+                f"lifecycle transition {old}->{new} is not in the protocol "
+                "spec",
+            )
+    return worst
+
+
 @contract_rule("ring-liveness")
 def check_ring_liveness(w: RuleWindow) -> Breach | None:
     """The ring is circulating *somewhere* (cluster scope).
@@ -482,6 +516,15 @@ def paper_contract_rules(
             window=window,
             severity="critical",
             for_duration=0.0,  # an overrun is a hard-bound violation
+            scope="node",
+            params={},
+        ),
+        RuleSpec(
+            name="state-transitions",
+            summary="node.state transitions stay inside the spec lifecycle",
+            window=window,
+            severity="critical",
+            for_duration=0.0,  # one undeclared transition is a bug
             scope="node",
             params={},
         ),

@@ -25,7 +25,10 @@ shape of the ROADMAP's multi-ring hierarchy experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.probe import ProbeBus
 
 from repro.core.config import RaincoreConfig
 from repro.core.events import RecordingListener
@@ -76,10 +79,10 @@ class WorkloadInstance:
         self.listeners: dict[str, RecordingListener] = {}
         #: Deterministic per-instance counters collected at end of run.
         self.counters: dict[str, int] = {}
-        self.probes = None
+        self.probes: ProbeBus | None = None
         self._starters: list[Callable[[], None]] = []
 
-    def enable_probes(self):
+    def enable_probes(self) -> ProbeBus:
         """Attach one probe bus to the network and every active node."""
         if self.probes is None:
             from repro.obs.probe import ProbeBus

@@ -1,0 +1,18 @@
+"""rainspec: declarative protocol spec, conformance extraction, model
+checking and rendering for the Raincore session protocol.
+
+* :mod:`repro.spec.protocol` — the pure-data spec (the source of truth);
+* :mod:`repro.spec.extract` — AST recovery of the implemented machine and
+  the spec↔code drift diff (surfaced as raincheck rules RC501–RC506);
+* :mod:`repro.spec.model` — bounded explicit-state exploration of the
+  spec's token/911/TBM rules under loss/duplication/reorder, checking the
+  paper's safety properties;
+* :mod:`repro.spec.render` — byte-stable markdown rendering of the spec
+  (pinned by a golden test; embedded in docs/PROTOCOL.md).
+
+CLI: ``repro spec check | explore | render``.
+"""
+
+from repro.spec.protocol import LIFECYCLE, PROTOCOL_SPEC, Exchange, validate_spec
+
+__all__ = ["LIFECYCLE", "PROTOCOL_SPEC", "Exchange", "validate_spec"]

@@ -1,0 +1,227 @@
+"""``repro spec`` — check / explore / render the protocol spec.
+
+``check``
+    Static conformance: validate the spec's internal structure, compare
+    the lifecycle table against ``repro.core.states.VALID_TRANSITIONS``,
+    then extract the implemented machine from the source tree and diff
+    it against the spec (the RC501–RC506 drift rules).  Nonzero exit on
+    any drift — this is the CI gate.
+``explore``
+    Bounded model checking of the spec under loss/duplication/reorder
+    (see :mod:`repro.spec.model`).  Runs the focused envelope suite by
+    default; ``--fixture`` explores a deliberately broken spec and is
+    expected to find a counterexample, which can be written out as a
+    replayable chaos trace with ``--emit-trace``.
+``render``
+    Print (or write) the byte-stable markdown rendering of the spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+__all__ = ["add_spec_arguments", "cmd_spec"]
+
+
+def add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.spec.model import BROKEN_FIXTURES
+
+    sub = parser.add_subparsers(dest="spec_command", required=True)
+
+    p = sub.add_parser("check", help="spec structure + spec↔code drift gate")
+    p.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="source root to scan (default: the installed repro package)",
+    )
+
+    p = sub.add_parser("explore", help="bounded model check of the spec")
+    p.add_argument("--nodes", type=int, default=3, help="cluster size, 2..4 (default 3)")
+    p.add_argument("--loss", action="store_true", help="adversary may drop messages")
+    p.add_argument("--dup", action="store_true", help="adversary may duplicate the token")
+    p.add_argument(
+        "--fixture", choices=tuple(sorted(BROKEN_FIXTURES)), metavar="NAME",
+        default=None,
+        help="explore a deliberately broken spec (expected: counterexample)",
+    )
+    p.add_argument(
+        "--envelope", metavar="NAME", default=None,
+        help="run a single named fault envelope instead of the whole suite",
+    )
+    p.add_argument(
+        "--max-states", type=int, default=1_500_000,
+        help="per-envelope state cap (default 1500000)",
+    )
+    p.add_argument(
+        "--emit-trace", metavar="TRACE.json", default=None,
+        help="write the first counterexample as a replayable chaos trace",
+    )
+
+    p = sub.add_parser("render", help="byte-stable markdown rendering of the spec")
+    p.add_argument(
+        "--out", metavar="FILE.md", default=None,
+        help="write here instead of stdout",
+    )
+
+
+# ----------------------------------------------------------------------
+# check
+# ----------------------------------------------------------------------
+def _source_root(arg: str | None) -> Path:
+    if arg is not None:
+        return Path(arg)
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def _iter_sources(root: Path) -> list[tuple[str, str]]:
+    sources = []
+    for path in sorted((root / "repro").rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if "lint_fixtures" in rel:
+            continue
+        sources.append((rel, path.read_text(encoding="utf-8")))
+    return sources
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.core.states import VALID_TRANSITIONS
+    from repro.spec.extract import diff_against_spec, extract_from_sources
+    from repro.spec.protocol import LIFECYCLE, PROTOCOL_SPEC, validate_spec
+
+    problems = list(validate_spec(PROTOCOL_SPEC))
+    spec_lifecycle = set(LIFECYCLE)
+    code_lifecycle = {
+        (src.name, dst.name) for src, dsts in VALID_TRANSITIONS.items() for dst in dsts
+    }
+    for pair in sorted(spec_lifecycle - code_lifecycle):
+        problems.append(f"lifecycle: spec allows {pair[0]}->{pair[1]}, code does not")
+    for pair in sorted(code_lifecycle - spec_lifecycle):
+        problems.append(f"lifecycle: code allows {pair[0]}->{pair[1]}, spec does not")
+    for problem in problems:
+        print(f"spec: {problem}")
+
+    root = _source_root(args.root)
+    if not (root / "repro").is_dir():
+        print(f"spec: no 'repro' package under {root}")
+        return 2
+    extraction = extract_from_sources(_iter_sources(root))
+    findings = diff_against_spec(extraction)
+    for f in findings:
+        print(f"{f.path}:{f.line}: {f.rule} {f.message}")
+    total = len(problems) + len(findings)
+    modules = len(extraction.modules_present)
+    print(
+        f"spec check: {len(PROTOCOL_SPEC)} exchanges, {modules} spec modules "
+        f"scanned, {total} problem(s)"
+    )
+    return 1 if total else 0
+
+
+# ----------------------------------------------------------------------
+# explore
+# ----------------------------------------------------------------------
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.spec.model import (
+        BROKEN_FIXTURES,
+        broken_spec,
+        check_envelopes,
+        check_spec,
+        counterexample_schedule,
+        default_envelopes,
+        format_counterexample,
+    )
+    from repro.spec.protocol import PROTOCOL_SPEC
+
+    spec = PROTOCOL_SPEC
+    expected_prop = None
+    if args.fixture:
+        exchange, guard, effect, expected_prop = BROKEN_FIXTURES[args.fixture]
+        spec = broken_spec(exchange, guard, effect)
+        print(
+            f"fixture {args.fixture}: {exchange} rebinds {guard}->{effect} "
+            f"(expect a {expected_prop!r} counterexample)"
+        )
+
+    if args.envelope is not None:
+        envelopes = default_envelopes(args.nodes)
+        if args.envelope not in envelopes:
+            print(f"unknown envelope {args.envelope!r}; have {sorted(envelopes)}")
+            return 2
+        results = {
+            args.envelope: check_spec(
+                spec,
+                nodes=args.nodes,
+                loss=args.loss,
+                dup=args.dup,
+                budgets=envelopes[args.envelope],
+                max_states=args.max_states,
+            )
+        }
+    else:
+        results = check_envelopes(
+            spec,
+            nodes=args.nodes,
+            loss=args.loss,
+            dup=args.dup,
+            max_states=args.max_states,
+        )
+
+    violations = []
+    truncated = False
+    for name in sorted(results):
+        r = results[name]
+        status = "exhausted" if r.exhausted else ("truncated" if r.truncated else "stopped")
+        print(
+            f"envelope {name}: {r.states} states, {r.transitions} transitions, "
+            f"{status}, {len(r.violations)} violation(s)"
+        )
+        violations.extend(r.violations)
+        truncated = truncated or r.truncated
+
+    if violations:
+        first = violations[0]
+        print()
+        print(format_counterexample(first))
+        if args.emit_trace:
+            schedule = counterexample_schedule(first, args.nodes)
+            Path(args.emit_trace).write_text(schedule.to_json(), encoding="utf-8")
+            print(f"chaos trace written to {args.emit_trace}")
+        if expected_prop is not None:
+            hit = any(v.prop == expected_prop for v in violations)
+            print(
+                f"fixture verdict: {'found' if hit else 'MISSED'} the expected "
+                f"{expected_prop!r} violation"
+            )
+            return 0 if hit else 1
+        return 1
+    if expected_prop is not None:
+        print(f"fixture verdict: MISSED the expected {expected_prop!r} violation")
+        return 1
+    if truncated:
+        print("warning: state cap hit before exhaustion — raise --max-states")
+        return 2
+    print("no counterexamples: every envelope explored to fixpoint")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# render
+# ----------------------------------------------------------------------
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.spec.render import render_spec
+
+    text = render_spec()
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"spec rendered to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    return {"check": _cmd_check, "explore": _cmd_explore, "render": _cmd_render}[
+        args.spec_command
+    ](args)

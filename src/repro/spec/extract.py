@@ -1,0 +1,543 @@
+"""rainspec conformance extractor: recover the implemented machine by AST.
+
+Given the parsed sources of the protocol modules (:data:`SPEC_MODULES`),
+this module rebuilds the *implemented* protocol machine — dispatch arms,
+and per-exchange guard states, lifecycle transitions, minted message kinds
+and exchange-to-exchange delegation — and diffs it against the declarative
+spec in :mod:`repro.spec.protocol`.  The diff is the RC5xx rule family:
+drift in either direction (code the spec does not know, spec the code does
+not implement) is a finding, so the spec and the handlers can only move
+together.
+
+Extraction model
+----------------
+Every spec exchange names a handler ``Class.method``.  The extractor
+computes the handler's **call closure**: the helper methods it reaches
+within the spec modules, following ``self.X`` / ``node.X`` / ``recovery.X``
+/ ``merge.X`` receivers (the component wiring is part of the architecture
+and is encoded in :data:`RECEIVERS`), and *stopping* at any method that is
+itself a spec handler — recorded as a delegation edge instead.  Timer and
+callback wiring counts: a bare method reference passed to ``call_later``
+or captured by a lambda is an edge like a direct call.  Within the
+closure it collects:
+
+* ``transitions`` — ``NodeState`` names passed to ``_transition``;
+* ``emits`` — registered message kinds constructed (``Kind(...)``);
+* ``guard_states`` — ``NodeState`` names referenced inside comparisons,
+  including those inside properties the closure reads (``is_member``,
+  ``is_eating``);
+* ``delegates`` — other exchanges whose handlers the closure reaches.
+
+Everything is AST-only (no imports of the analyzed code), deterministic
+(sorted traversal, sorted outputs), and intentionally dumb: receivers not
+in :data:`RECEIVERS` are skipped, so cross-layer calls (transport, event
+loop, probes) never leak facts into an exchange.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.spec.protocol import PROTOCOL_SPEC, Exchange
+
+__all__ = [
+    "CLASS_MODULES",
+    "RECEIVERS",
+    "Arm",
+    "DriftFinding",
+    "ExtractedExchange",
+    "Extraction",
+    "RegisteredKind",
+    "diff_against_spec",
+    "extract_project",
+]
+
+#: Protocol class → module path suffix it must live in.  Also the gate for
+#: partial projects: findings about a class are suppressed when its module
+#: is absent from the linted tree (e.g. linting a single subpackage).
+CLASS_MODULES: dict[str, str] = {
+    "RaincoreNode": "repro/core/session.py",
+    "RecoveryProtocol": "repro/core/recovery.py",
+    "MergeProtocol": "repro/core/merge.py",
+    "OpenGroupClient": "repro/core/opengroup.py",
+    "ReplicaBase": "repro/data/replica.py",
+}
+
+#: Receiver-name → class resolution for attribute chains.  ``self`` maps
+#: to the enclosing class; these cover the fixed component wiring
+#: (``self.node``, ``self.recovery``, ``self.merge``, and the ``node =
+#: self.node`` local idiom).  Unknown receivers are skipped on purpose.
+RECEIVERS: dict[str, str] = {
+    "node": "RaincoreNode",
+    "recovery": "RecoveryProtocol",
+    "merge": "MergeProtocol",
+}
+
+_TIERS = {"session": "session_message", "stream": "stream_message"}
+
+
+@dataclass(frozen=True)
+class RegisteredKind:
+    """One ``@session_message`` / ``@stream_message`` class found by AST."""
+
+    kind: str
+    tier: str  #: "session" | "stream"
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Arm:
+    """One ``isinstance`` dispatch arm found in a dispatcher function."""
+
+    dispatcher: str  #: "Class.method"
+    kind: str
+    target: str  #: handler method name the arm routes to
+    path: str
+    line: int
+
+
+@dataclass
+class ExtractedExchange:
+    """The implemented facts recovered for one spec exchange."""
+
+    name: str
+    handler: str
+    found: bool = False
+    path: str = ""
+    line: int = 0
+    guard_states: set[str] = field(default_factory=set)
+    transitions: set[str] = field(default_factory=set)
+    emits: set[str] = field(default_factory=set)
+    delegates: set[str] = field(default_factory=set)
+
+
+@dataclass
+class Extraction:
+    """Everything the extractor recovered from one project."""
+
+    modules_present: frozenset[str]
+    registered: dict[str, RegisteredKind]
+    arms: list[Arm]
+    exchanges: dict[str, ExtractedExchange]
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One spec↔code drift, attributed to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+
+# ----------------------------------------------------------------------
+# low-level AST helpers
+# ----------------------------------------------------------------------
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _attr_chain(node: ast.expr) -> list[str] | None:
+    """``self.node.multicast`` → ``["self", "node", "multicast"]``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _resolve_method(node: ast.expr, current_class: str) -> tuple[str, str] | None:
+    """Resolve an attribute chain to ``(owner_class, method_name)``."""
+    chain = _attr_chain(node)
+    if chain is None or len(chain) < 2:
+        return None
+    receiver, meth = chain[-2], chain[-1]
+    if receiver == "self":
+        # Only a direct ``self.meth``: chains like ``self.loop.call_later``
+        # have receiver "loop" and fall through to RECEIVERS below.
+        if len(chain) == 2:
+            return (current_class, meth)
+        return None
+    owner = RECEIVERS.get(receiver)
+    if owner is None:
+        return None
+    return (owner, meth)
+
+
+def _nodestate_name(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "NodeState"
+    ):
+        return node.attr
+    return None
+
+
+def _isinstance_kinds(test: ast.expr, known_kinds: frozenset[str]) -> list[str]:
+    """Registered kind names checked by ``isinstance`` calls in ``test``."""
+    kinds: list[str] = []
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            classinfo = node.args[1]
+            candidates = (
+                list(classinfo.elts)
+                if isinstance(classinfo, ast.Tuple)
+                else [classinfo]
+            )
+            for cand in candidates:
+                name = _decorator_name(cand)
+                if name is not None and name in known_kinds:
+                    kinds.append(name)
+    return kinds
+
+
+# ----------------------------------------------------------------------
+# project indexing
+# ----------------------------------------------------------------------
+def _collect_registered(
+    files: Sequence[tuple[str, ast.Module]]
+) -> dict[str, RegisteredKind]:
+    registered: dict[str, RegisteredKind] = {}
+    for path, tree in files:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for deco in node.decorator_list:
+                name = _decorator_name(deco)
+                for tier, deco_name in sorted(_TIERS.items()):
+                    if name == deco_name:
+                        registered[node.name] = RegisteredKind(
+                            node.name, tier, path, node.lineno
+                        )
+    return registered
+
+
+def _index_methods(
+    files: Sequence[tuple[str, ast.Module]]
+) -> tuple[dict[tuple[str, str], tuple[ast.FunctionDef, str]], frozenset[str]]:
+    """(class, method) → (def, path) for the protocol classes; plus the
+    set of spec-module suffixes actually present in the project."""
+    index: dict[tuple[str, str], tuple[ast.FunctionDef, str]] = {}
+    present: set[str] = set()
+    for path, tree in files:
+        for cls_name, suffix in sorted(CLASS_MODULES.items()):
+            if not path.endswith(suffix):
+                continue
+            present.add(suffix)
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == cls_name:
+                    for item in node.body:
+                        if isinstance(item, ast.FunctionDef):
+                            index[(cls_name, item.name)] = (item, path)
+    return index, frozenset(present)
+
+
+# ----------------------------------------------------------------------
+# closure scan
+# ----------------------------------------------------------------------
+def _scan_closure(
+    entry: tuple[str, str],
+    index: dict[tuple[str, str], tuple[ast.FunctionDef, str]],
+    entry_map: dict[tuple[str, str], str],
+    kind_names: frozenset[str],
+    out: ExtractedExchange,
+) -> None:
+    """BFS the call closure of ``entry``, accumulating facts into ``out``."""
+    queue: list[tuple[str, str]] = [entry]
+    visited: set[tuple[str, str]] = set()
+    while queue:
+        current = queue.pop(0)
+        if current in visited:
+            continue
+        visited.add(current)
+        found = index.get(current)
+        if found is None:
+            continue
+        fn, _path = found
+        cls = current[0]
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in kind_names:
+                    out.emits.add(func.id)
+                resolved = _resolve_method(func, cls)
+                if resolved is not None and resolved[1] == "_transition":
+                    for arg in node.args:
+                        state = _nodestate_name(arg)
+                        if state is not None:
+                            out.transitions.add(state)
+            elif isinstance(node, ast.Attribute):
+                resolved = _resolve_method(node, cls)
+                if resolved is None or resolved[1] == "_transition":
+                    continue
+                if resolved in entry_map:
+                    if resolved != entry:
+                        out.delegates.add(entry_map[resolved])
+                elif resolved in index:
+                    queue.append(resolved)
+            elif isinstance(node, ast.Compare):
+                for sub in ast.walk(node):
+                    state = _nodestate_name(sub)
+                    if state is not None:
+                        out.guard_states.add(state)
+
+
+# ----------------------------------------------------------------------
+# dispatch arms
+# ----------------------------------------------------------------------
+def _extract_arms(
+    dispatcher: str,
+    fn: ast.FunctionDef,
+    path: str,
+    current_class: str,
+    entry_methods: frozenset[str],
+    kind_names: frozenset[str],
+) -> Iterable[Arm]:
+    own_method = dispatcher.split(".")[1]
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If):
+            continue
+        kinds = _isinstance_kinds(node.test, kind_names)
+        if not kinds:
+            continue
+        # Resolve the arm's target: the first spec-handler call inside the
+        # arm body.  ``if not isinstance(...): return`` inverted guards
+        # (and inline handling with no handler call) route to the
+        # dispatcher function itself.
+        target = own_method
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    resolved = _resolve_method(sub.func, current_class)
+                    if resolved is not None and resolved[1] in entry_methods:
+                        target = resolved[1]
+                        break
+            if target != own_method:
+                break
+        for kind in kinds:
+            yield Arm(dispatcher, kind, target, path, node.lineno)
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def extract_project(
+    files: Sequence[tuple[str, ast.Module]],
+    spec: tuple[Exchange, ...] = PROTOCOL_SPEC,
+) -> Extraction:
+    """Recover the implemented machine from parsed ``(path, tree)`` files."""
+    registered = _collect_registered(files)
+    kind_names = frozenset(registered)
+    index, present = _index_methods(files)
+
+    entry_map: dict[tuple[str, str], str] = {}
+    for ex in spec:
+        cls, meth = ex.handler.split(".", 1)
+        entry_map[(cls, meth)] = ex.name
+    entry_methods = frozenset(meth for _cls, meth in entry_map)
+
+    exchanges: dict[str, ExtractedExchange] = {}
+    for ex in spec:
+        cls, meth = ex.handler.split(".", 1)
+        extracted = ExtractedExchange(ex.name, ex.handler)
+        found = index.get((cls, meth))
+        if found is not None:
+            fn, path = found
+            extracted.found = True
+            extracted.path = path
+            extracted.line = fn.lineno
+            _scan_closure((cls, meth), index, entry_map, kind_names, extracted)
+        exchanges[ex.name] = extracted
+
+    arms: list[Arm] = []
+    dispatchers = sorted({ex.dispatched_by for ex in spec if ex.dispatched_by})
+    for dispatcher in dispatchers:
+        cls, meth = dispatcher.split(".", 1)
+        found = index.get((cls, meth))
+        if found is None:
+            continue
+        fn, path = found
+        arms.extend(
+            _extract_arms(dispatcher, fn, path, cls, entry_methods, kind_names)
+        )
+    arms.sort(key=lambda a: (a.path, a.line, a.kind))
+
+    return Extraction(
+        modules_present=present,
+        registered=registered,
+        arms=arms,
+        exchanges=exchanges,
+    )
+
+
+def _fmt(values: Iterable[str]) -> str:
+    items = sorted(values)
+    return "{" + ", ".join(items) + "}" if items else "{}"
+
+
+def diff_against_spec(
+    extraction: Extraction,
+    spec: tuple[Exchange, ...] = PROTOCOL_SPEC,
+) -> list[DriftFinding]:
+    """Diff the implemented machine against the spec → RC5xx findings.
+
+    Every check is gated on the relevant module being present in the
+    project, so linting a partial tree stays quiet instead of reporting
+    the rest of the protocol as missing.
+    """
+    findings: list[DriftFinding] = []
+    if not extraction.modules_present:
+        return findings
+
+    by_name = {ex.name: ex for ex in spec}
+    arm_kinds = {arm.kind for arm in extraction.arms}
+    spec_arms = {
+        (ex.dispatched_by, ex.kind): ex
+        for ex in spec
+        if ex.kind is not None and ex.dispatched_by is not None
+    }
+    kind_to_exchange = {ex.kind: ex for ex in spec if ex.kind is not None}
+
+    def module_present(class_name: str) -> bool:
+        return CLASS_MODULES.get(class_name, "") in extraction.modules_present
+
+    # RC501 — registered kind never dispatched (and its dispatcher module
+    # is present, so the arm genuinely should exist).
+    for kind in sorted(extraction.registered):
+        reg = extraction.registered[kind]
+        spec_ex = kind_to_exchange.get(kind)
+        dispatcher_cls = (
+            spec_ex.dispatched_by.split(".")[0]
+            if spec_ex is not None and spec_ex.dispatched_by is not None
+            else {"session": "RaincoreNode", "stream": "ReplicaBase"}[reg.tier]
+        )
+        if not module_present(dispatcher_cls):
+            continue
+        if kind not in arm_kinds:
+            findings.append(
+                DriftFinding(
+                    "RC501",
+                    reg.path,
+                    reg.line,
+                    f"registered {reg.tier} message {kind!r} has no "
+                    "isinstance dispatch arm in any spec dispatcher",
+                )
+            )
+
+    # RC502 — dispatch arm the spec does not know, or routed to a
+    # different handler than the spec names.
+    for arm in extraction.arms:
+        spec_ex = spec_arms.get((arm.dispatcher, arm.kind))
+        if spec_ex is None:
+            findings.append(
+                DriftFinding(
+                    "RC502",
+                    arm.path,
+                    arm.line,
+                    f"dispatch arm for {arm.kind!r} in {arm.dispatcher} "
+                    "has no exchange in the protocol spec",
+                )
+            )
+            continue
+        spec_method = spec_ex.handler.split(".")[1]
+        if arm.target != spec_method:
+            findings.append(
+                DriftFinding(
+                    "RC502",
+                    arm.path,
+                    arm.line,
+                    f"dispatch arm for {arm.kind!r} routes to "
+                    f"{arm.target!r} but the spec names {spec_method!r} "
+                    f"(exchange {spec_ex.name!r})",
+                )
+            )
+
+    # RC503 — spec entries the code does not implement.
+    extracted_arm_keys = {(arm.dispatcher, arm.kind) for arm in extraction.arms}
+    for ex in spec:
+        extracted = extraction.exchanges[ex.name]
+        handler_cls = ex.handler.split(".")[0]
+        if not module_present(handler_cls):
+            continue
+        if not extracted.found:
+            mod = CLASS_MODULES.get(handler_cls, "?")
+            findings.append(
+                DriftFinding(
+                    "RC503",
+                    mod,
+                    1,
+                    f"spec exchange {ex.name!r} names handler "
+                    f"{ex.handler!r}, which does not exist",
+                )
+            )
+            continue
+        if ex.kind is not None and ex.dispatched_by is not None:
+            dispatcher_cls = ex.dispatched_by.split(".")[0]
+            if (
+                module_present(dispatcher_cls)
+                and (ex.dispatched_by, ex.kind) not in extracted_arm_keys
+            ):
+                findings.append(
+                    DriftFinding(
+                        "RC503",
+                        extracted.path,
+                        extracted.line,
+                        f"spec exchange {ex.name!r} expects a dispatch arm "
+                        f"for {ex.kind!r} in {ex.dispatched_by}, but none "
+                        "was found",
+                    )
+                )
+
+    # RC504/RC505/RC506 — per-exchange machine-shape drift.
+    for ex in spec:
+        extracted = extraction.exchanges[ex.name]
+        if not extracted.found:
+            continue
+        checks = (
+            ("RC504", "emits", set(ex.emits), extracted.emits),
+            ("RC505", "transitions", set(ex.transitions), extracted.transitions),
+            ("RC505", "guard states", set(ex.guard_states), extracted.guard_states),
+            ("RC506", "delegates", set(ex.delegates), extracted.delegates),
+        )
+        for rule_id, label, specced, actual in checks:
+            if specced == actual:
+                continue
+            findings.append(
+                DriftFinding(
+                    rule_id,
+                    extracted.path,
+                    extracted.line,
+                    f"exchange {ex.name!r} {label} drift: spec "
+                    f"{_fmt(specced)} vs implemented {_fmt(actual)}",
+                )
+            )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+def extract_from_sources(
+    sources: Sequence[tuple[str, str]],
+    spec: tuple[Exchange, ...] = PROTOCOL_SPEC,
+) -> Extraction:
+    """Convenience: parse ``(path, source)`` pairs then extract."""
+    files = [(path, ast.parse(text, filename=path)) for path, text in sources]
+    return extract_project(files, spec)

@@ -1,0 +1,860 @@
+"""Bounded explicit-state model checking of the rainspec protocol spec.
+
+This module *interprets* the guard→effect rule tables carried by the
+:class:`repro.spec.protocol.Exchange` records — it does not re-encode the
+protocol.  An abstract cluster (N nodes, an in-flight message multiset,
+fault budgets) is explored breadth-first under message loss, duplication
+and arbitrary reordering, and three safety monitors derived from the
+paper's claims are checked on every transition:
+
+``order``
+    A node never *accepts* a token whose seq is not strictly greater than
+    the last seq it accepted (paper §2.2: duplicate tokens die at the
+    first node that saw a newer hop — no agreed-order interleaving).
+``lineage``
+    A bound node never accepts a token from an unrelated lineage: the
+    token's gen must equal the binding or the binding must appear in the
+    token's ancestry chain (single live lineage followed per node).
+``quarantine``
+    Quarantine is absorbing until backoff: a quarantined peer never sits
+    in the quarantiner's pending-join or pending-merge queues, and never
+    rides a ring the quarantiner forwards.
+
+The monitors are structural — they look at the abstract state, not at
+which rule fired — so a deliberately mis-bound spec (see
+:data:`BROKEN_FIXTURES`) drives the same interpreter into a monitor
+violation, and the shortest path to it is reconstructed and rendered as a
+chaos trace (:func:`counterexample_schedule`) replayable with
+``repro chaos --replay``.
+
+Exploration is exact within explicit budgets (token hops, regenerations,
+911 rounds, duplications, FD repairs, beacons, quarantine events); the
+budgets are what keep the seq counters — and hence the state space —
+finite.  "Exhausted" in the result means the frontier drained under
+those budgets, i.e. every reachable state was visited.
+
+Everything is deterministic: node ids are letters, lineage ids are
+minted from a counter carried in the state, and every set is iterated
+through ``sorted()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.chaos.schedule import ChaosParams, FaultOp, Schedule, node_names
+from repro.spec.protocol import PROTOCOL_SPEC, Exchange
+
+__all__ = [
+    "Budgets",
+    "CheckResult",
+    "Counterexample",
+    "SpecModel",
+    "BROKEN_FIXTURES",
+    "broken_spec",
+    "check_spec",
+    "check_envelopes",
+    "counterexample_schedule",
+    "default_envelopes",
+    "format_counterexample",
+]
+
+
+# ----------------------------------------------------------------------
+# abstract state
+# ----------------------------------------------------------------------
+class Tok(NamedTuple):
+    """An abstract token: lineage, hop seq, ring, ancestry, TBM flag."""
+
+    gen: str
+    seq: int
+    ring: tuple[str, ...]
+    ancestry: tuple[str, ...]
+    tbm: bool
+
+
+class Rnd(NamedTuple):
+    """One in-progress 911 round at a STARVING node."""
+
+    awaiting: frozenset[str]
+    grants: int
+    jps: int
+    dead: frozenset[str]
+
+
+class Node(NamedTuple):
+    """Abstract per-node state.
+
+    ``holding`` is a live token this node has accepted and not yet
+    forwarded; ``copy`` is the (token, sent_to) snapshot taken at the
+    last forward (the failure-on-delivery reservoir); ``held`` is a
+    TBM token parked until our own token arrives.
+    """
+
+    st: str
+    binding: str | None
+    last_seen: int
+    holding: Tok | None
+    copy: tuple[Tok, str] | None
+    held: Tok | None
+    joins: frozenset[str]
+    merges: frozenset[str]
+    quar: frozenset[str]
+    rnd: Rnd | None
+    members: tuple[str, ...]
+
+
+class Budgets(NamedTuple):
+    """Fault/progress budgets; every decrement shrinks the reachable cone."""
+
+    hops: int
+    regens: int
+    rounds: int
+    dups: int
+    repairs: int
+    beacons: int
+    quars: int
+
+
+class State(NamedTuple):
+    nodes: tuple[Node, ...]
+    flight: tuple[tuple, ...]
+    budgets: Budgets
+    mint: int
+
+
+#: Message shapes carried in ``State.flight`` (always kept sorted):
+#:   ("tok", dst, Tok)
+#:   ("911", dst, sender, copy_seq)
+#:   ("rep", dst, sender, verdict)    verdict ∈ {"grant", "jp", "deny"}
+
+_ANCESTRY_CAP = 3
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+class Counterexample(NamedTuple):
+    """A monitor violation plus the action path from the initial state."""
+
+    prop: str
+    message: str
+    path: tuple[tuple, ...]
+
+
+@dataclass
+class CheckResult:
+    nodes: int
+    states: int = 0
+    transitions: int = 0
+    exhausted: bool = False
+    truncated: bool = False
+    violations: list[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+# broken-spec fixtures (used by tests and ``repro spec explore --fixture``)
+# ----------------------------------------------------------------------
+def broken_spec(
+    exchange_name: str, guard: str, effect: str, spec: tuple[Exchange, ...] = PROTOCOL_SPEC
+) -> tuple[Exchange, ...]:
+    """Return ``spec`` with one guard of one exchange re-bound to ``effect``.
+
+    The mutated spec stays structurally valid (guards/effects come from
+    the known vocabularies) but is *wrong*: the model checker must find a
+    counterexample for each entry of :data:`BROKEN_FIXTURES`.
+    """
+    out: list[Exchange] = []
+    hit = False
+    for ex in spec:
+        if ex.name != exchange_name:
+            out.append(ex)
+            continue
+        rules = tuple((g, effect if g == guard else e) for g, e in ex.rules)
+        if rules == ex.rules:
+            raise ValueError(f"guard {guard!r} not found on exchange {exchange_name!r}")
+        hit = True
+        out.append(
+            Exchange(
+                name=ex.name,
+                dispatcher=ex.dispatcher,
+                handler=ex.handler,
+                kind=ex.kind,
+                dispatched_by=ex.dispatched_by,
+                guard_states=ex.guard_states,
+                transitions=ex.transitions,
+                emits=ex.emits,
+                delegates=ex.delegates,
+                rules=rules,
+                doc=ex.doc,
+            )
+        )
+    if not hit:
+        raise ValueError(f"unknown exchange {exchange_name!r}")
+    return tuple(out)
+
+
+#: fixture name → (exchange, guard, rebound effect, property expected to trip)
+BROKEN_FIXTURES: dict[str, tuple[str, str, str, str]] = {
+    "accept-stale": ("token-accept", "stale_seq", "accept", "order"),
+    "accept-foreign": ("token-accept", "foreign_lineage", "accept", "lineage"),
+    "quarantine-leak": ("bodyodor", "sender_quarantined", "queue_merge", "quarantine"),
+}
+
+
+# ----------------------------------------------------------------------
+# the checker
+# ----------------------------------------------------------------------
+class SpecModel:
+    """Explicit-state exploration of one spec under one fault envelope."""
+
+    def __init__(
+        self,
+        spec: tuple[Exchange, ...] = PROTOCOL_SPEC,
+        *,
+        nodes: int = 3,
+        loss: bool = False,
+        dup: bool = False,
+        budgets: Budgets | None = None,
+    ) -> None:
+        if not 2 <= nodes <= 4:
+            raise ValueError("the bounded model covers N=2..4 nodes")
+        self.spec = spec
+        self.rules: dict[str, tuple[tuple[str, str], ...]] = {
+            ex.name: ex.rules for ex in spec if ex.rules
+        }
+        self.n = nodes
+        self.ids: tuple[str, ...] = tuple(chr(ord("a") + i) for i in range(nodes))
+        self.loss = loss
+        self.dup = dup
+        # the full adversary product: exact but wide (millions of states
+        # at N=3) — the envelope suite is the practical default
+        self.budgets = budgets or Budgets(
+            hops=3, regens=1, rounds=1, dups=1 if dup else 0, repairs=1, beacons=1, quars=1
+        )
+        #: violations found while building the *current* successor; the
+        #: explorer drains this after every transition function call.
+        self._pending: list[tuple[str, str]] = []
+
+    # -- rule interpretation -------------------------------------------
+    def _effect(self, exchange: str, flags: dict[str, bool]) -> str | None:
+        """First rule of ``exchange`` whose guard holds; ``ok`` always holds."""
+        for guard, effect in self.rules.get(exchange, ()):
+            if guard == "ok" or flags.get(guard, False):
+                return effect
+        return None
+
+    def _violate(self, prop: str, message: str) -> None:
+        self._pending.append((prop, message))
+
+    # -- initial state -------------------------------------------------
+    def initial_state(self) -> State:
+        ring = self.ids
+        tok = Tok("L0", 1, ring, (), False)
+        nodes = []
+        for i, nid in enumerate(ring):
+            succ = ring[(i + 1) % len(ring)]
+            # steady-state fiction: the last node just forwarded seq 1 to
+            # the first; everyone else holds an older copy of the round.
+            copy = (tok, ring[0]) if i == len(ring) - 1 else (Tok("L0", 0, ring, (), False), succ)
+            nodes.append(
+                Node(
+                    st="HUNGRY",
+                    binding="L0",
+                    last_seen=0,
+                    holding=None,
+                    copy=copy,
+                    held=None,
+                    joins=frozenset(),
+                    merges=frozenset(),
+                    quar=frozenset(),
+                    rnd=None,
+                    members=ring,
+                )
+            )
+        flight = (("tok", ring[0], tok),)
+        return State(tuple(nodes), flight, self.budgets, 1)
+
+    # -- small helpers -------------------------------------------------
+    def _idx(self, nid: str) -> int:
+        return self.ids.index(nid)
+
+    @staticmethod
+    def _succ(ring: tuple[str, ...], nid: str) -> str:
+        i = ring.index(nid)
+        return ring[(i + 1) % len(ring)]
+
+    @staticmethod
+    def _with_node(state: State, idx: int, node: Node) -> State:
+        nodes = state.nodes[:idx] + (node,) + state.nodes[idx + 1 :]
+        return state._replace(nodes=nodes)
+
+    @staticmethod
+    def _without_msg(state: State, msg: tuple) -> State:
+        flight = list(state.flight)
+        flight.remove(msg)
+        return state._replace(flight=tuple(sorted(flight)))
+
+    @staticmethod
+    def _with_msgs(state: State, msgs: list[tuple]) -> State:
+        return state._replace(flight=tuple(sorted(list(state.flight) + msgs)))
+
+    # -- token acceptance (the token-accept exchange) ------------------
+    def _accept_token(self, state: State, nid: str, tok: Tok) -> State:
+        """Deliver ``tok`` at ``nid``, interpreting the token-accept rules."""
+        idx = self._idx(nid)
+        node = state.nodes[idx]
+        if node.st == "DOWN":
+            return state  # guard_states: dead nodes eat messages
+        flags = {
+            "tbm": tok.tbm,
+            "foreign_lineage": (
+                node.binding is not None
+                and node.st != "JOINING"
+                and tok.gen != node.binding
+                and node.binding not in tok.ancestry
+            ),
+            "stale_seq": tok.seq <= node.last_seen,
+            "not_in_ring": nid not in tok.ring,
+        }
+        effect = self._effect("token-accept", flags)
+        if effect == "drop" or effect is None:
+            return state
+        if effect == "hold_tbm":
+            return self._hold_tbm(state, idx, tok)
+        if effect == "divert":
+            return self._divert(state, nid, tok)
+        if effect == "accept":
+            # structural monitors — independent of which guard fired
+            if tok.seq <= node.last_seen:
+                self._violate(
+                    "order",
+                    f"{nid} accepts token {tok.gen}#{tok.seq} at last_seen={node.last_seen}",
+                )
+            if flags["foreign_lineage"]:
+                self._violate(
+                    "lineage",
+                    f"{nid} bound to {node.binding} accepts unrelated token {tok.gen}",
+                )
+            return self._do_accept(state, idx, tok)
+        raise AssertionError(f"effect {effect!r} unreachable in token-accept")
+
+    def _do_accept(self, state: State, idx: int, tok: Tok) -> State:
+        nid = self.ids[idx]
+        node = state.nodes[idx]
+        # join-apply: splice queued joiners in after us, evict quarantined
+        ring = list(tok.ring)
+        if self._effect("join-apply", {}) == "apply_joins":
+            pos = ring.index(nid) + 1 if nid in ring else len(ring)
+            for joiner in sorted(node.joins):
+                if joiner not in ring:
+                    ring.insert(pos, joiner)
+                    pos += 1
+            ring = [m for m in ring if m == nid or m not in node.quar]
+        leaked = sorted(frozenset(ring) & (node.quar - {nid}))
+        if leaked:
+            # quarantine is absorbing: the visit must have evicted the peer
+            self._violate(
+                "quarantine",
+                f"{nid} completes a visit with quarantined {leaked[0]} still in the ring",
+            )
+        tok = tok._replace(ring=tuple(ring), tbm=False)
+        node = node._replace(
+            st="EATING",
+            binding=tok.gen,
+            last_seen=tok.seq,
+            holding=tok,
+            joins=frozenset(),
+            rnd=None,
+            members=tok.ring,
+        )
+        state = self._with_node(state, idx, node)
+        if node.held is not None and self._effect("merge-complete", {}) == "merge":
+            state = self._merge_with_own(state, idx)
+        return state
+
+    def _hold_tbm(self, state: State, idx: int, tok: Tok) -> State:
+        node = state.nodes[idx]
+        if node.st == "JOINING":
+            return state  # not a member yet: TBM dies (initiator recovers)
+        effect = self._effect("tbm-hold", {"already_holding": node.held is not None})
+        if effect != "hold_tbm":
+            return state  # refuse_tbm: second initiator's ring routes around us
+        state = self._with_node(state, idx, node._replace(held=tok))
+        if node.st == "EATING" and node.holding is not None:
+            if self._effect("merge-complete", {}) == "merge":
+                state = self._merge_with_own(state, idx)
+        return state
+
+    def _merge_with_own(self, state: State, idx: int) -> State:
+        nid = self.ids[idx]
+        node = state.nodes[idx]
+        assert node.held is not None and node.holding is not None
+        held, own = node.held, node.holding
+        ring = list(held.ring)
+        if nid not in ring:
+            ring.append(nid)
+        pos = ring.index(nid) + 1
+        for m in own.ring:
+            if m not in ring:
+                ring.insert(pos, m)
+                pos += 1
+        gen = f"L{state.mint}"
+        ancestry = ((held.gen, own.gen) + own.ancestry)[:_ANCESTRY_CAP]
+        merged = Tok(gen, max(held.seq, own.seq) + 1, tuple(ring), ancestry, False)
+        node = node._replace(
+            binding=gen,
+            last_seen=merged.seq,
+            holding=merged,
+            held=None,
+            joins=node.joins - frozenset(ring),
+            merges=node.merges - frozenset(ring),
+            members=merged.ring,
+        )
+        return self._with_node(state, idx, node)._replace(mint=state.mint + 1)
+
+    def _divert(self, state: State, nid: str, tok: Tok) -> State:
+        if nid not in tok.ring or len(tok.ring) <= 1:
+            return state
+        nxt = self._succ(tok.ring, nid)
+        ring = tuple(m for m in tok.ring if m != nid)
+        if not ring:
+            return state
+        return self._with_msgs(state, [("tok", nxt, tok._replace(ring=ring))])
+
+    # -- 911 handling --------------------------------------------------
+    def _handle_911(self, state: State, msg: tuple) -> State:
+        _, dst, sender, copy_seq = msg
+        idx = self._idx(dst)
+        node = state.nodes[idx]
+        if node.st == "DOWN":
+            return state
+        copy_tok = node.copy[0] if node.copy is not None else None
+        flags = {
+            "sender_not_member": sender not in node.members,
+            "have_token": node.st == "EATING",
+            "newer_copy": copy_tok is not None
+            and (copy_tok.seq > copy_seq or (copy_tok.seq == copy_seq and dst < sender)),
+        }
+        effect = self._effect("911-request", flags)
+        verdict = {
+            "reply_join_pending": "jp",
+            "reply_deny_token": "deny",
+            "reply_deny_newer": "deny",
+            "reply_grant": "grant",
+        }.get(effect or "", "deny")
+        if effect == "reply_join_pending" and sender not in node.quar:
+            node = node._replace(joins=node.joins | {sender})
+            state = self._with_node(state, idx, node)
+        return self._with_msgs(state, [("rep", sender, dst, verdict)])
+
+    def _handle_reply(self, state: State, msg: tuple) -> State:
+        _, dst, sender, verdict = msg
+        idx = self._idx(dst)
+        node = state.nodes[idx]
+        if node.st != "STARVING" or node.rnd is None or sender not in node.rnd.awaiting:
+            return state
+        if verdict == "deny":
+            effect = self._effect("911-reply", {"deny": True})
+            if effect == "back_to_hungry":
+                return self._with_node(state, idx, node._replace(st="HUNGRY", rnd=None))
+            # mis-bound fixture could fall through to regenerate
+            return self._complete_round(state, idx, node.rnd._replace(awaiting=frozenset()))
+        rnd = node.rnd._replace(
+            awaiting=node.rnd.awaiting - {sender},
+            grants=node.rnd.grants + (1 if verdict == "grant" else 0),
+            jps=node.rnd.jps + (1 if verdict == "jp" else 0),
+        )
+        if rnd.awaiting:
+            return self._with_node(state, idx, node._replace(rnd=rnd))
+        return self._complete_round(state, idx, rnd)
+
+    def _complete_round(self, state: State, idx: int, rnd: Rnd) -> State:
+        node = state.nodes[idx]
+        flags = {"deny": False, "all_join_pending": rnd.grants == 0 and rnd.jps > 0}
+        effect = self._effect("911-reply", flags)
+        if effect == "to_joining":
+            return self._with_node(state, idx, node._replace(st="JOINING", rnd=None))
+        if effect == "back_to_hungry":
+            return self._with_node(state, idx, node._replace(st="HUNGRY", rnd=None))
+        return self._regenerate(state, idx, rnd.dead)
+
+    def _regenerate(self, state: State, idx: int, dead: frozenset[str]) -> State:
+        nid = self.ids[idx]
+        node = state.nodes[idx]
+        if state.budgets.regens <= 0:
+            # budget exhausted: the node stalls STARVING — safe, just bounded
+            return self._with_node(state, idx, node._replace(rnd=None))
+        state = state._replace(budgets=state.budgets._replace(regens=state.budgets.regens - 1))
+        gen = f"L{state.mint}"
+        state = state._replace(mint=state.mint + 1)
+        if node.copy is None:
+            tok = Tok(gen, node.last_seen + 1, (nid,), (), False)
+        else:
+            copy_tok, _sent = node.copy
+            ring = tuple(m for m in copy_tok.ring if m == nid or m not in dead)
+            ancestry = ((copy_tok.gen,) + copy_tok.ancestry)[:_ANCESTRY_CAP]
+            tok = Tok(gen, max(copy_tok.seq, node.last_seen) + 1, ring, ancestry, False)
+        state = self._with_node(state, idx, state.nodes[idx]._replace(rnd=None))
+        return self._accept_token(state, nid, tok)
+
+    def _start_round(self, state: State, idx: int) -> State:
+        nid = self.ids[idx]
+        node = state.nodes[idx]
+        node = node._replace(st="STARVING")
+        state = self._with_node(state, idx, node)
+        peers = sorted(m for m in node.members if m != nid)
+        if not peers:
+            return self._regenerate(state, idx, frozenset())
+        copy_seq = node.copy[0].seq if node.copy is not None else -1
+        state = self._with_node(
+            state, idx, node._replace(rnd=Rnd(frozenset(peers), 0, 0, frozenset()))
+        )
+        return self._with_msgs(state, [("911", p, nid, copy_seq) for p in peers])
+
+    # -- bodyodor ------------------------------------------------------
+    def _handle_beacon(self, state: State, a: str, b: str) -> State:
+        """Node ``a`` beacons; ``b`` interprets the bodyodor rules."""
+        idx = self._idx(b)
+        node = state.nodes[idx]
+        a_group = state.nodes[self._idx(a)].binding or ""
+        flags = {
+            "not_member": node.st in ("DOWN", "JOINING"),
+            "sender_member": a in node.members,
+            "sender_quarantined": a in node.quar,
+            "higher_group": a_group >= (node.binding or ""),
+        }
+        effect = self._effect("bodyodor", flags)
+        if effect != "queue_merge":
+            return state
+        return self._with_node(state, idx, node._replace(merges=node.merges | {a}))
+
+    # -- successor enumeration -----------------------------------------
+    def successors(self, state: State) -> list[tuple[tuple, State, list[tuple[str, str]]]]:
+        """All (action, next_state, violations) transitions from ``state``."""
+        out: list[tuple[tuple, State, list[tuple[str, str]]]] = []
+
+        def emit(action: tuple, nxt: State) -> None:
+            nxt = nxt._replace(flight=tuple(sorted(nxt.flight)))
+            violations = list(self._pending)
+            self._pending.clear()
+            violations.extend(self._post_checks(nxt))
+            out.append((action, nxt, violations))
+
+        seen_msgs: set[tuple] = set()
+        for msg in state.flight:
+            if msg in seen_msgs:
+                continue  # identical copies: one deliver/drop/dup branch each
+            seen_msgs.add(msg)
+            base = self._without_msg(state, msg)
+            if msg[0] == "tok":
+                emit(("deliver", msg), self._accept_token(base, msg[1], msg[2]))
+            elif msg[0] == "911":
+                emit(("deliver", msg), self._handle_911(base, msg))
+            else:
+                emit(("deliver", msg), self._handle_reply(base, msg))
+            if self.loss:
+                emit(("drop", msg), base)
+            if self.dup and state.budgets.dups > 0 and msg[0] == "tok":
+                dupped = self._with_msgs(state, [msg])
+                dupped = dupped._replace(
+                    budgets=dupped.budgets._replace(dups=dupped.budgets.dups - 1)
+                )
+                emit(("dup", msg), dupped)
+
+        for idx, nid in enumerate(self.ids):
+            node = state.nodes[idx]
+            # token-forward (+ merge-initiate)
+            if node.holding is not None and node.st == "EATING" and state.budgets.hops > 0:
+                emit(("forward", nid), self._forward(state, idx))
+            # timeout-starve
+            if node.st == "HUNGRY" and node.rnd is None and state.budgets.rounds > 0:
+                nxt = state._replace(
+                    budgets=state.budgets._replace(rounds=state.budgets.rounds - 1)
+                )
+                if self._effect("timeout-starve", {"hungry": True}) == "start_round":
+                    emit(("timeout", nid), self._start_round(nxt, idx))
+            # round give-up (timeout + failure detector writes off the silent)
+            if node.st == "STARVING" and node.rnd is not None and node.rnd.awaiting:
+                rnd = node.rnd._replace(
+                    awaiting=frozenset(), dead=node.rnd.dead | node.rnd.awaiting
+                )
+                emit(("giveup", nid), self._complete_round(state, idx, rnd))
+            # fd-repair from the local copy
+            if (
+                node.st == "HUNGRY"
+                and node.copy is not None
+                and state.budgets.repairs > 0
+                and self._effect("fd-repair", {"newer_seen": node.last_seen >= node.copy[0].seq})
+                == "repair"
+            ):
+                emit(("repair", nid), self._repair(state, idx))
+            # held-TBM safety valve
+            if node.held is not None:
+                emit(("tbm-drop", nid), self._with_node(state, idx, node._replace(held=None)))
+            # join retry / escalation
+            if node.st == "JOINING":
+                contacts = sorted(m for m in node.members if m != nid)
+                if contacts and state.budgets.rounds > 0:
+                    copy_seq = node.copy[0].seq if node.copy is not None else -1
+                    nxt = state._replace(
+                        budgets=state.budgets._replace(rounds=state.budgets.rounds - 1)
+                    )
+                    emit(
+                        ("join-retry", nid),
+                        self._with_msgs(nxt, [("911", contacts[0], nid, copy_seq)]),
+                    )
+                if node.copy is not None and state.budgets.rounds > 0:
+                    nxt = state._replace(
+                        budgets=state.budgets._replace(rounds=state.budgets.rounds - 1)
+                    )
+                    emit(("join-escalate", nid), self._start_round(nxt, idx))
+            # beacons and quarantine decisions involve a peer
+            for pidx, peer in enumerate(self.ids):
+                if peer == nid:
+                    continue
+                if (
+                    state.budgets.beacons > 0
+                    and node.st not in ("DOWN", "JOINING")
+                    and peer not in node.members
+                ):
+                    nxt = state._replace(
+                        budgets=state.budgets._replace(beacons=state.budgets.beacons - 1)
+                    )
+                    emit(("beacon", nid, peer), self._handle_beacon(nxt, nid, peer))
+                if (
+                    state.budgets.quars > 0
+                    and node.st != "DOWN"
+                    and peer not in node.quar
+                    and self._effect("quarantine", {}) == "quarantine"
+                ):
+                    nxt = state._replace(
+                        budgets=state.budgets._replace(quars=state.budgets.quars - 1)
+                    )
+                    quarantined = node._replace(
+                        quar=node.quar | {peer},
+                        joins=node.joins - {peer},
+                        merges=node.merges - {peer},
+                    )
+                    emit(("quarantine", nid, peer), self._with_node(nxt, idx, quarantined))
+        return out
+
+    def _forward(self, state: State, idx: int) -> State:
+        nid = self.ids[idx]
+        node = state.nodes[idx]
+        assert node.holding is not None
+        tok = node.holding
+        tgt = None
+        if node.merges and self._effect("merge-initiate", {}) == "initiate_merge":
+            candidates = sorted(node.merges - frozenset(tok.ring))
+            tgt = candidates[0] if candidates else None
+        if tgt is not None:
+            ring = list(tok.ring)
+            ring.insert(ring.index(nid) + 1, tgt)
+            sent = Tok(tok.gen, tok.seq + 1, tuple(ring), tok.ancestry, True)
+            dst = tgt
+            node = node._replace(merges=node.merges - {tgt})
+        else:
+            sent = tok._replace(seq=tok.seq + 1)
+            dst = self._succ(tok.ring, nid)
+        node = node._replace(st="HUNGRY", holding=None, copy=(sent, dst))
+        state = self._with_node(state, idx, node)
+        state = state._replace(budgets=state.budgets._replace(hops=state.budgets.hops - 1))
+        return self._with_msgs(state, [("tok", dst, sent)])
+
+    def _repair(self, state: State, idx: int) -> State:
+        nid = self.ids[idx]
+        node = state.nodes[idx]
+        assert node.copy is not None
+        sent, dead = node.copy
+        ring = tuple(m for m in sent.ring if m != dead)
+        if nid not in ring:
+            return state
+        state = state._replace(budgets=state.budgets._replace(repairs=state.budgets.repairs - 1))
+        return self._accept_token(state, nid, sent._replace(ring=ring, tbm=False))
+
+    # -- monitors over whole states ------------------------------------
+    def _post_checks(self, state: State) -> list[tuple[str, str]]:
+        found: list[tuple[str, str]] = []
+        for idx, nid in enumerate(self.ids):
+            node = state.nodes[idx]
+            leaked = sorted(node.quar & (node.joins | node.merges))
+            if leaked:
+                found.append(
+                    (
+                        "quarantine",
+                        f"{nid} holds quarantined peer {leaked[0]} in a pending queue",
+                    )
+                )
+        return found
+
+    # -- exploration ---------------------------------------------------
+    def check(self, *, max_states: int = 200_000, stop_on_first: bool = True) -> CheckResult:
+        """BFS from the initial state; returns exploration stats + violations."""
+        result = CheckResult(nodes=self.n)
+        init = self.initial_state()
+        parent: dict[State, tuple[State, tuple] | None] = {init: None}
+        frontier: list[State] = [init]
+        result.states = 1
+        while frontier:
+            next_frontier: list[State] = []
+            for state in frontier:
+                for action, nxt, violations in self.successors(state):
+                    result.transitions += 1
+                    if violations:
+                        path = self._path_to(parent, state) + (action,)
+                        for prop, message in violations:
+                            result.violations.append(Counterexample(prop, message, path))
+                        if stop_on_first:
+                            return result
+                        continue  # do not explore past a violating transition
+                    if nxt in parent:
+                        continue
+                    if result.states >= max_states:
+                        result.truncated = True
+                        return result
+                    parent[nxt] = (state, action)
+                    result.states += 1
+                    next_frontier.append(nxt)
+            frontier = next_frontier
+        result.exhausted = True
+        return result
+
+    @staticmethod
+    def _path_to(
+        parent: dict[State, tuple[State, tuple] | None], state: State
+    ) -> tuple[tuple, ...]:
+        path: list[tuple] = []
+        cur: State | None = state
+        while cur is not None:
+            link = parent[cur]
+            if link is None:
+                break
+            cur, action = link
+            path.append(action)
+        return tuple(reversed(path))
+
+
+def check_spec(
+    spec: tuple[Exchange, ...] = PROTOCOL_SPEC,
+    *,
+    nodes: int = 3,
+    loss: bool = False,
+    dup: bool = False,
+    budgets: Budgets | None = None,
+    max_states: int = 200_000,
+    stop_on_first: bool = True,
+) -> CheckResult:
+    """One exploration under one budget vector."""
+    model = SpecModel(spec, nodes=nodes, loss=loss, dup=dup, budgets=budgets)
+    return model.check(max_states=max_states, stop_on_first=stop_on_first)
+
+
+def default_envelopes(nodes: int) -> dict[str, Budgets]:
+    """The focused fault envelopes ``repro spec explore`` runs by default.
+
+    The *product* of every adversary dimension is exact but explodes
+    (millions of states at N=3); the suite instead explores one coherent
+    fault mix per envelope — each to exhaustion — so together they cover
+    every dimension and the pairwise interactions the safety properties
+    depend on (duplicate×repair forks, regeneration×stale-token races,
+    beacon×quarantine leaks).  Budgets: (hops, regens, rounds, dups,
+    repairs, beacons, quars).
+    """
+    hops = 3
+    return {
+        "circulate": Budgets(hops, 0, 0, 1, 1, 0, 0),
+        "starve": Budgets(hops, 1, 1, 1, 0, 0, 0),
+        "repair-starve": Budgets(hops, 1, 1, 0, 1, 0, 0),
+        "merge": Budgets(hops, 1, 0, 0, 0, 1, 1),
+        "quarantine": Budgets(hops, 1, 1, 0, 0, 1, 1),
+    }
+
+
+def check_envelopes(
+    spec: tuple[Exchange, ...] = PROTOCOL_SPEC,
+    *,
+    nodes: int = 3,
+    loss: bool = True,
+    dup: bool = True,
+    max_states: int = 1_500_000,
+    stop_on_first: bool = True,
+) -> dict[str, CheckResult]:
+    """Run the default envelope suite; the ``repro spec explore`` default."""
+    results: dict[str, CheckResult] = {}
+    for name, budgets in sorted(default_envelopes(nodes).items()):
+        results[name] = check_spec(
+            spec,
+            nodes=nodes,
+            loss=loss,
+            dup=dup,
+            budgets=budgets,
+            max_states=max_states,
+            stop_on_first=stop_on_first,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# counterexample rendering
+# ----------------------------------------------------------------------
+def _describe_action(action: tuple) -> str:
+    kind = action[0]
+    if kind in ("deliver", "drop", "dup"):
+        msg = action[1]
+        if msg[0] == "tok":
+            what = f"token {msg[2].gen}#{msg[2].seq}{' TBM' if msg[2].tbm else ''} -> {msg[1]}"
+        elif msg[0] == "911":
+            what = f"911 from {msg[2]} -> {msg[1]}"
+        else:
+            what = f"911-reply {msg[3]} from {msg[2]} -> {msg[1]}"
+        return f"{kind} {what}"
+    return " ".join(str(part) for part in action)
+
+
+def format_counterexample(cx: Counterexample) -> str:
+    lines = [f"property {cx.prop!r} violated: {cx.message}", "trace:"]
+    for i, action in enumerate(cx.path):
+        lines.append(f"  {i + 1:2d}. {_describe_action(action)}")
+    return "\n".join(lines)
+
+
+def counterexample_schedule(cx: Counterexample, nodes: int) -> Schedule:
+    """Render a counterexample path as a replayable chaos trace.
+
+    Only adversary moves become fault ops — protocol-internal steps
+    (delivery order, timeouts, forwarding) are what the real stack does
+    by itself.  The result is a valid ``raincore-chaos-trace`` that
+    ``repro chaos --replay`` re-executes against the real cluster.
+    """
+    names = node_names(nodes)
+
+    def name_of(letter: str) -> str:
+        return names[ord(letter) - ord("a")]
+
+    ops: list[FaultOp] = []
+    at = 0.5
+    for action in cx.path:
+        kind = action[0]
+        if kind == "drop":
+            msg = action[1]
+            if msg[0] == "tok":
+                ops.append(FaultOp(at=round(at, 6), kind="lose_token_in_flight", args=(0.5,)))
+            else:
+                src = name_of(msg[2])
+                dst = name_of(msg[1])
+                ops.append(FaultOp(at=round(at, 6), kind="ack_blackout", args=(src, dst, 0.3)))
+        elif kind == "dup":
+            ops.append(FaultOp(at=round(at, 6), kind="forge_duplicate_token", args=()))
+        elif kind == "quarantine":
+            accuser, victim = name_of(action[1]), name_of(action[2])
+            ops.append(FaultOp(at=round(at, 6), kind="false_alarm", args=(accuser, victim)))
+        at += 0.4
+    seconds = max(2.0, round(at + 1.5, 6))
+    params = ChaosParams(nodes=nodes, seconds=seconds, seed=0, segments=2, intensity=0.0)
+    return Schedule(params=params, ops=ops)

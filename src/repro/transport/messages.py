@@ -27,7 +27,12 @@ __all__ = [
     "frame_size",
     "trace_context_of",
     "SESSION_MESSAGES",
+    "STREAM_MESSAGES",
     "session_message",
+    "stream_message",
+    "session_message_kinds",
+    "stream_message_kinds",
+    "registered_kinds",
 ]
 
 #: Registry of top-level session-layer message classes: everything the
@@ -37,16 +42,54 @@ __all__ = [
 #: ``_receive`` handler) — see docs/DETERMINISM.md.
 SESSION_MESSAGES: dict[str, type] = {}
 
+#: Registry of stream-tier protocol messages: wire payloads that ride the
+#: agreed-ordered multicast and are dispatched by a replica ``on_deliver``
+#: isinstance chain (the PR 6 resync ladder lives here).  Kept separate
+#: from :data:`SESSION_MESSAGES` because the transport never dispatches
+#: them directly — their carrier (the token's piggyback) does — but they
+#: are protocol surface all the same: rainspec's RC5xx conformance pass
+#: and the ``repro spec`` drift gate audit both tiers.
+STREAM_MESSAGES: dict[str, type] = {}
+
 
 def session_message(cls: type) -> type:
     """Register ``cls`` as a dispatchable session-layer message.
 
     Nested payloads that only ride *inside* another message (e.g. the
-    token's piggybacked multicasts) are deliberately not registered: they
-    are unpacked by their carrier, not dispatched by the transport.
+    token's piggybacked multicasts) are deliberately not registered here:
+    they are unpacked by their carrier, not dispatched by the transport.
+    Protocol payloads dispatched off the agreed stream register with
+    :func:`stream_message` instead.
     """
     SESSION_MESSAGES[cls.__name__] = cls
     return cls
+
+
+def stream_message(cls: type) -> type:
+    """Register ``cls`` as a stream-tier protocol message (see above)."""
+    STREAM_MESSAGES[cls.__name__] = cls
+    return cls
+
+
+def session_message_kinds() -> tuple[str, ...]:
+    """Sorted session-message kind names.
+
+    Registration happens in import order, which is an accident of module
+    topology; every consumer that renders or diffs the kind table
+    (rainspec, RC2xx/RC5xx findings, ``repro spec render``) reads this
+    sorted view so outputs stay byte-deterministic across import orders.
+    """
+    return tuple(sorted(SESSION_MESSAGES))
+
+
+def stream_message_kinds() -> tuple[str, ...]:
+    """Sorted stream-message kind names (same determinism contract)."""
+    return tuple(sorted(STREAM_MESSAGES))
+
+
+def registered_kinds() -> tuple[str, ...]:
+    """Sorted union of both registry tiers."""
+    return tuple(sorted(SESSION_MESSAGES | STREAM_MESSAGES))
 
 #: Modelled overhead of one UDP/IPv4 datagram (20 IP + 8 UDP bytes).
 UDP_IP_HEADER = 28

@@ -52,6 +52,7 @@ def test_rule_catalogue_is_complete():
         "RC201", "RC202", "RC203", "RC204", "RC205", "RC206",
         "RC301", "RC302",
         "RC401", "RC402", "RC403",
+        "RC501", "RC502", "RC503", "RC504", "RC505", "RC506",
     }
     for rule in RULES.values():
         assert rule.scope in ("file", "project", "meta")

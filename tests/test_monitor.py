@@ -154,6 +154,7 @@ def test_paper_rules_derive_bounds_from_config():
         "bandwidth-share",
         "ring-liveness",
         "buffer-bound",
+        "state-transitions",
     }
     assert rules["buffer-bound"].severity == "critical"
     # The fd bound is the transport's own derivation, not a constant.

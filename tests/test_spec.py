@@ -1,0 +1,245 @@
+"""Tests for the rainspec subsystem (repro.spec).
+
+Three layers, mirroring the spec pipeline:
+
+* **spec structure** — the declarative spec is self-consistent and agrees
+  with the live registries: every registered message kind has an
+  exchange, every state name is a real ``NodeState``, and the lifecycle
+  table is exactly ``VALID_TRANSITIONS``;
+* **conformance** — the AST extractor recovers the implemented machine
+  from the real tree with zero drift, and a seeded drift (deleting one
+  dispatch arm) is reported as RC501 + RC503 with nonzero CLI exit;
+* **model checking** — the fault-envelope suite explores the correct
+  spec to exhaustion with zero counterexamples, each broken-spec fixture
+  trips its expected safety property, and the counterexample renders as
+  a chaos trace the replay engine accepts.
+
+The render golden pins ``repro spec render`` byte-for-byte: any spec
+edit must update ``tests/data/golden_spec_render.md`` in the same commit.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro
+from repro.chaos.engine import ChaosEngine
+from repro.core.states import NodeState, VALID_TRANSITIONS
+from repro.spec.extract import diff_against_spec, extract_from_sources
+from repro.spec.model import (
+    BROKEN_FIXTURES,
+    broken_spec,
+    check_envelopes,
+    counterexample_schedule,
+    default_envelopes,
+    format_counterexample,
+)
+from repro.spec.protocol import LIFECYCLE, PROTOCOL_SPEC, SPEC_MODULES, validate_spec
+from repro.spec.render import render_spec
+from repro.transport.messages import registered_kinds
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent.parent
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_spec_render.md"
+
+
+def real_tree_sources() -> list[tuple[str, str]]:
+    """(relative path, source) for every module under ``src/repro``."""
+    pkg = SRC_ROOT / "repro"
+    out = []
+    for path in sorted(pkg.rglob("*.py")):
+        rel = path.relative_to(SRC_ROOT).as_posix()
+        if "lint_fixtures" in rel:
+            continue
+        out.append((rel, path.read_text()))
+    return out
+
+
+# ----------------------------------------------------------------------
+# spec structure
+# ----------------------------------------------------------------------
+def test_spec_is_structurally_valid():
+    assert validate_spec(PROTOCOL_SPEC) == []
+
+
+def test_every_registered_kind_has_an_exchange():
+    spec_kinds = {ex.kind for ex in PROTOCOL_SPEC if ex.kind is not None}
+    missing = set(registered_kinds()) - spec_kinds
+    assert not missing, f"registered kinds without a spec exchange: {sorted(missing)}"
+
+
+def test_lifecycle_table_is_exactly_valid_transitions():
+    implemented = {
+        (src.name, dst.name)
+        for src, dsts in VALID_TRANSITIONS.items()
+        for dst in dsts
+    }
+    assert set(LIFECYCLE) == implemented
+
+
+@given(ex=st.sampled_from(PROTOCOL_SPEC))
+def test_spec_states_are_node_states(ex):
+    names = {state.name for state in NodeState}
+    for state in ex.guard_states + ex.transitions:
+        assert state in names, f"{ex.name}: {state!r} is not a NodeState"
+
+
+@given(ex=st.sampled_from(PROTOCOL_SPEC))
+def test_spec_facts_are_sorted_and_kinds_known(ex):
+    # Determinism: fact tuples are sorted, so renders and diffs are stable.
+    for field in (ex.guard_states, ex.transitions, ex.emits, ex.delegates):
+        assert tuple(sorted(field)) == field
+    known = set(registered_kinds()) | {
+        "ResyncAck", "ResyncDelta", "ResyncSnapshot", "SyncRequest",
+    }
+    for kind in ex.emits:
+        assert kind in known, f"{ex.name} emits unknown kind {kind!r}"
+
+
+def test_rule_tables_put_catch_all_last():
+    # "ok" is the catch-all guard: anywhere but last it would shadow the
+    # remaining rules, so the first-match interpreter never reaches them.
+    for ex in PROTOCOL_SPEC:
+        for guard, _effect in ex.rules[:-1]:
+            assert guard != "ok", f"{ex.name}: catch-all shadows later rules"
+
+
+# ----------------------------------------------------------------------
+# render golden
+# ----------------------------------------------------------------------
+def test_protocol_md_embeds_current_tables():
+    # docs/PROTOCOL.md §9 carries the generated tables between rainspec
+    # markers; a spec change must regenerate them in the same commit.
+    from repro.spec.render import render_exchanges, render_lifecycle
+
+    doc = (SRC_ROOT.parent / "docs" / "PROTOCOL.md").read_text()
+    assert "<!-- rainspec:begin" in doc and "<!-- rainspec:end -->" in doc
+    embedded = doc.split("<!-- rainspec:begin", 1)[1]
+    assert render_lifecycle() in embedded
+    assert render_exchanges() in embedded
+
+
+def test_render_matches_golden():
+    assert render_spec() == GOLDEN.read_text(), (
+        "spec render drifted; regenerate tests/data/golden_spec_render.md "
+        "with `repro spec render --out tests/data/golden_spec_render.md`"
+    )
+
+
+# ----------------------------------------------------------------------
+# conformance: extractor vs the real tree
+# ----------------------------------------------------------------------
+def test_real_tree_has_zero_drift():
+    extraction = extract_from_sources(real_tree_sources())
+    assert extraction.modules_present == frozenset(SPEC_MODULES)
+    findings = diff_against_spec(extraction)
+    assert findings == [], "\n".join(
+        f"{f.rule} {f.path}:{f.line} {f.message}" for f in findings
+    )
+
+
+def test_seeded_drift_is_reported():
+    # Delete the BodyOdor dispatch arm from session.py: the registered
+    # kind loses its arm (RC501) and the bodyodor exchange its
+    # implementation (RC503).  This is the CI drift gate's tripwire.
+    sources = []
+    for rel, text in real_tree_sources():
+        if rel.endswith("core/session.py"):
+            mutated, n = re.subn(
+                r"\n[ \t]+elif isinstance\(payload, BodyOdor\):"
+                r"\n[ \t]+self\.merge\.handle_bodyodor\(payload\)",
+                "",
+                text,
+            )
+            assert n == 1, "BodyOdor arm not found in session.py"
+            text = mutated
+        sources.append((rel, text))
+    findings = diff_against_spec(extract_from_sources(sources))
+    rules = {f.rule for f in findings}
+    assert {"RC501", "RC503"} <= rules, findings
+    assert any("BodyOdor" in f.message for f in findings)
+
+
+def test_spec_check_cli_is_clean_on_real_tree():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "spec", "check"],
+        capture_output=True,
+        text=True,
+        cwd=SRC_ROOT.parent,
+        env={"PYTHONPATH": str(SRC_ROOT), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 problem(s)" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# model checking
+# ----------------------------------------------------------------------
+def test_correct_spec_explores_clean_to_exhaustion():
+    results = check_envelopes(PROTOCOL_SPEC, nodes=2)
+    assert set(results) == set(default_envelopes(2))
+    for name, result in results.items():
+        assert result.exhausted and not result.truncated, name
+        assert result.ok, f"{name}: {format_counterexample(result.violations[0])}"
+        assert result.states > 0 and result.transitions >= result.states - 1
+
+
+@pytest.mark.parametrize("fixture", sorted(BROKEN_FIXTURES))
+def test_broken_fixture_trips_expected_property(fixture):
+    exchange, guard, effect, expected = BROKEN_FIXTURES[fixture]
+    spec = broken_spec(exchange, guard, effect)
+    results = check_envelopes(spec, nodes=2)
+    violations = [v for r in results.values() for v in r.violations]
+    assert any(v.prop == expected for v in violations), (
+        f"{fixture}: no {expected!r} violation in "
+        f"{sorted({v.prop for v in violations})}"
+    )
+
+
+def test_broken_spec_rejects_unknown_rebinding():
+    with pytest.raises(ValueError, match="unknown exchange"):
+        broken_spec("no-such-exchange", "ok", "drop")
+    with pytest.raises(ValueError, match="not found"):
+        broken_spec("token-accept", "no-such-guard", "drop")
+
+
+# ----------------------------------------------------------------------
+# counterexample → chaos trace round trip
+# ----------------------------------------------------------------------
+def first_violation(fixture: str):
+    exchange, guard, effect, expected = BROKEN_FIXTURES[fixture]
+    results = check_envelopes(broken_spec(exchange, guard, effect), nodes=2)
+    for result in results.values():
+        for violation in result.violations:
+            if violation.prop == expected:
+                return violation
+    raise AssertionError(f"fixture {fixture} produced no {expected} violation")
+
+
+def test_counterexample_renders_and_replays():
+    violation = first_violation("accept-stale")
+    text = format_counterexample(violation)
+    assert "order" in text and violation.message in text
+
+    schedule = counterexample_schedule(violation, nodes=2)
+    # The stale-accept trace forks the token: the duplicate move must
+    # survive the translation into the chaos-trace vocabulary.
+    kinds = [op.kind for op in schedule.ops]
+    assert "forge_duplicate_token" in kinds
+
+    # A counterexample against the *spec* is a schedule the *real stack*
+    # absorbs: replay must complete and deliver traffic.
+    result = ChaosEngine(schedule).run()
+    assert result.ok, result.stats
+    assert result.stats["deliveries"] > 0
+
+    # And the trace round-trips through the canonical JSON format.
+    from repro.chaos.schedule import Schedule
+
+    assert Schedule.from_json(schedule.to_json()) == schedule
