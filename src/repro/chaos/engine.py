@@ -96,6 +96,12 @@ class ChaosEngine:
     recorder_capacity:
         Flight-recorder ring size per node; the diagnostic bundle built
         for a failing run carries at most this many recent events/node.
+    instrument:
+        Optional callback ``instrument(cluster, bus)`` invoked once the
+        cluster is built and its probe bus enabled, before formation.
+        The ``repro prof`` CLI uses it to attach a wall-clock profiler
+        and a streaming aggregator to the standard chaos workload; any
+        observational attachment (recorder, extra monitors) fits here.
     """
 
     def __init__(
@@ -108,8 +114,10 @@ class ChaosEngine:
         double_token_allowance: float | None = None,
         background_tick: float = 0.25,
         recorder_capacity: int = 512,
+        instrument: Callable | None = None,
     ) -> None:
         self.schedule = schedule
+        self.instrument = instrument
         self.quiesce_budget = quiesce_budget
         self.settle = settle
         self.monitor_interval = monitor_interval
@@ -139,6 +147,8 @@ class ChaosEngine:
         )
         self.cluster = cluster
         bus = cluster.enable_probes()
+        if self.instrument is not None:
+            self.instrument(cluster, bus)
         recorder = FlightRecorder(bus, capacity=self.recorder_capacity)
         registry = MetricsRegistry()
         ProbeMetrics(bus, registry)

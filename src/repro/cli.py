@@ -6,8 +6,11 @@ Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
 * ``quickstart`` — form a group, multicast, crash and rejoin a member;
 * ``trace`` — print a protocol event timeline for a short run;
 * ``obs`` — probe-bus observability: live summary, JSONL export,
-  diagnostic-bundle rendering, and trace diff (docs/OBSERVABILITY.md,
-  docs/MONITORING.md);
+  diagnostic-bundle rendering, span-timeline reconstruction, and trace
+  diff (docs/OBSERVABILITY.md, docs/MONITORING.md);
+* ``prof`` — hot-path wall-clock profiler: per-callback attribution
+  table, Chrome trace-event export, per-shard epoch utilization
+  (docs/PROFILING.md);
 * ``watch`` — run a cluster under the live contract monitor and stream
   per-node SLO health (plain-text, redraw-free, CI-safe);
 * ``scaling`` — the Figure 3 Rainwall throughput sweep;
@@ -134,6 +137,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     q = obs_sub.add_parser(
+        "timeline",
+        help=(
+            "reconstruct the span timeline (token laps, 911 episodes, "
+            "merge windows, resync ladders) from a run or an export"
+        ),
+    )
+    q.add_argument(
+        "events", nargs="?", metavar="EVENTS",
+        help="probe export (.jsonl) or bundle (.json) to reconstruct from "
+        "(default: run the probed quickstart scenario)",
+    )
+    q.add_argument("--nodes", type=int, default=4)
+    q.add_argument("--seed", type=int, default=2024)
+    q.add_argument("--duration", type=float, default=1.0)
+    q.add_argument(
+        "--no-crash", action="store_true",
+        help="skip the crash/recover phase of the scenario",
+    )
+    q.add_argument("--limit", type=int, default=40)
+    q.add_argument(
+        "--kind", default=None,
+        help="show only spans of this kind (e.g. episode.911)",
+    )
+    q.add_argument(
+        "--out", metavar="FILE.jsonl",
+        help="write the span records as JSONL (repro obs diff compatible)",
+    )
+    q.add_argument(
+        "--check", action="store_true",
+        help="check the paper bounds over the spans; exit 1 on breach",
+    )
+    q.add_argument(
+        "--detection-bound", type=float, default=None, metavar="S",
+        help="911 detection-latency bound per episode (default 0.15)",
+    )
+
+    q = obs_sub.add_parser(
         "diff",
         help=(
             "localize the first divergence between two probe exports "
@@ -193,6 +233,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quiet", action="store_true",
         help="only print fired alerts and the final summary",
+    )
+
+    p = sub.add_parser(
+        "prof",
+        help=(
+            "hot-path wall-clock profiler: attribution table, Chrome "
+            "trace export, per-shard epoch utilization"
+        ),
+    )
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument(
+        "--seconds", type=float, default=10.0,
+        help="virtual seconds of the profiled chaos workload",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--segments", type=int, default=2)
+    p.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="fault event rate multiplier of the chaos schedule",
+    )
+    p.add_argument(
+        "--top", type=int, default=12,
+        help="attribution rows to show before folding the tail (default 12)",
+    )
+    p.add_argument(
+        "--trace", metavar="TRACE.json",
+        help="write Chrome trace-event JSON here (chrome://tracing, Perfetto)",
+    )
+    p.add_argument(
+        "--timeline-limit", type=int, default=50_000,
+        help="max per-dispatch spans retained for the trace export",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the profiler summary as JSON instead of the table",
+    )
+    p.add_argument(
+        "--aggregate", action="store_true",
+        help="also attach streaming aggregation and print the rollup",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="profile the sharded multi-ring engine at K shards instead "
+        "of the chaos workload (per-shard epoch walls and imbalance)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the rendered output; exit code only (CI use)",
     )
 
     p = sub.add_parser("scaling", help="Figure 3: Rainwall throughput sweep")
@@ -316,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
         const="benchmarks/BENCH_history.json",
         help="append {git_sha, date, metrics} to a bench history file "
         "(default benchmarks/BENCH_history.json)",
+    )
+    p.add_argument(
+        "--label", default="", metavar="TEXT",
+        help="free-form label stored with the --record history row",
     )
 
     return parser
@@ -441,6 +533,57 @@ def cmd_obs(args) -> int:
         )
         if not quiet:
             print(text)
+        return 0
+
+    if args.obs_command == "timeline":
+        import json as _json
+
+        from repro.obs import load_events, reconstruct_spans
+
+        if args.events:
+            try:
+                events = load_events(args.events)
+            except ValueError as exc:
+                return _cli_error(str(exc))
+        else:
+            from repro.obs.scenario import run_quickstart
+
+            events = run_quickstart(
+                nodes=args.nodes,
+                seed=args.seed,
+                duration=args.duration,
+                crash=not args.no_crash,
+            ).events
+        timeline = reconstruct_spans(events)
+        if args.out:
+            text = "\n".join(
+                _json.dumps(r, sort_keys=True, separators=(",", ":"))
+                for r in timeline.to_records()
+            )
+            try:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text + "\n")
+            except OSError as exc:
+                return _cli_error(f"cannot write {args.out}: {exc}")
+            if not quiet:
+                print(f"{len(timeline.spans)} span records written to {args.out}")
+        if not quiet:
+            print(timeline.render(limit=args.limit, kind=args.kind))
+        if args.check:
+            bounds = (
+                {"episode.911.detect": args.detection_bound}
+                if args.detection_bound is not None
+                else None
+            )
+            breaches = timeline.check(bounds)
+            for breach in breaches:
+                print(f"BREACH {breach}")
+            if not quiet:
+                print(
+                    f"bounds check: {len(breaches)} breach(es) over "
+                    f"{len(timeline.of_kind('episode.911'))} 911 episode(s)"
+                )
+            return 1 if breaches else 0
         return 0
 
     if args.obs_command == "diff":
@@ -613,6 +756,90 @@ def cmd_watch(args) -> int:
         return 1
     if args.fail_on_alerts and monitor.alerts:
         return 1
+    return 0
+
+
+def cmd_prof(args) -> int:
+    import json as _json
+
+    if args.shards is not None:
+        from repro import perf
+        from repro.obs.prof import render_epoch_stats
+        from repro.parallel import ParallelSimulator
+
+        if args.shards < 1:
+            return _cli_error(f"--shards must be >= 1, got {args.shards}")
+        sim = ParallelSimulator("multi_ring", seed=args.seed, params=perf.SCALING_WORKLOAD)
+        mode = "serial" if args.shards == 1 else "process"
+        result = sim.run(
+            args.seconds,
+            shards=args.shards,
+            mode=mode,
+            profile=True,
+            aggregate=args.aggregate,
+        )
+        if args.json:
+            print(_json.dumps(result.profiles, indent=2, sort_keys=True))
+        elif not args.quiet:
+            print(
+                f"sharded profile: shards={args.shards} mode={mode} "
+                f"events={result.events} epochs={result.epochs}"
+            )
+            print(render_epoch_stats(result.profiles))
+        if args.aggregate and not args.quiet:
+            from repro.obs import render_rollup
+
+            print(render_rollup(result.rollup))
+        return 0
+
+    from repro.chaos import ChaosEngine, ChaosParams, Schedule
+    from repro.obs.prof import Profiler
+
+    schedule = Schedule.generate(
+        ChaosParams(
+            nodes=args.nodes,
+            seconds=args.seconds,
+            seed=args.seed,
+            segments=args.segments,
+            intensity=args.intensity,
+        )
+    )
+    profiler = Profiler(timeline_limit=args.timeline_limit, label="chaos")
+    aggregator = None
+
+    def instrument(cluster, bus) -> None:
+        nonlocal aggregator
+        profiler.attach(cluster.loop).attach_bus(bus)
+        if args.aggregate:
+            from repro.obs import StreamAggregator
+
+            aggregator = StreamAggregator().attach(bus)
+
+    if not args.quiet:
+        print(
+            f"profiling chaos workload: nodes={args.nodes} "
+            f"seconds={args.seconds:g} seed={args.seed} "
+            f"ops={len(schedule.ops)}"
+        )
+    result = ChaosEngine(schedule, instrument=instrument).run()
+    if args.json:
+        print(_json.dumps(profiler.to_dict(), indent=2, sort_keys=True))
+    elif not args.quiet:
+        print(profiler.render_table(top=args.top))
+    if aggregator is not None and not args.quiet:
+        from repro.obs import render_rollup
+
+        print(render_rollup(aggregator.to_dict()))
+    if args.trace:
+        try:
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                fh.write(profiler.trace_json() + "\n")
+        except OSError as exc:
+            return _cli_error(f"cannot write {args.trace}: {exc}")
+        if not args.quiet:
+            print(f"Chrome trace written to {args.trace}")
+    if not result.ok and not args.quiet:
+        print(f"note: chaos run itself failed [{result.failure}] {result.detail}")
     return 0
 
 
@@ -980,7 +1207,9 @@ def cmd_bench(args) -> int:
             ).stdout.strip()
         except (OSError, subprocess.CalledProcessError):
             git_sha = "unknown"
-        row = perf.append_history(args.record, report, git_sha=git_sha)
+        row = perf.append_history(
+            args.record, report, git_sha=git_sha, label=args.label
+        )
         print(f"recorded {row['git_sha']} ({row['date']}) in {args.record}")
     if args.check:
         with open(args.check, encoding="utf-8") as fh:
@@ -1000,6 +1229,7 @@ _COMMANDS = {
     "quickstart": cmd_quickstart,
     "trace": cmd_trace,
     "obs": cmd_obs,
+    "prof": cmd_prof,
     "watch": cmd_watch,
     "scaling": cmd_scaling,
     "failover": cmd_failover,

@@ -99,7 +99,10 @@ _WALL_CLOCK = frozenset(
         "datetime.date.today",
     }
 )
-_CLOCK_ALLOWED_MODULES = ("repro/perf.py",)
+#: The only modules allowed to read the wall clock: the perf harness and
+#: the hot-path profiler — both live on the non-deterministic telemetry
+#: channel and never feed the probe stream (docs/PROFILING.md).
+_CLOCK_ALLOWED_MODULES = ("repro/perf.py", "repro/obs/prof.py")
 
 #: Ambient entropy: different on every run, ruinous to replay.  Note that
 #: uuid3/uuid5 (name-based, deterministic in their inputs) are allowed.
@@ -120,7 +123,7 @@ _ENTROPY = frozenset(
 )
 
 
-@rule("RC101", "wall-clock read outside repro/perf.py")
+@rule("RC101", "wall-clock read outside the wall-clock allowlist")
 def check_wall_clock(ctx: FileContext) -> Iterator[FileFinding]:
     if ctx.is_module(*_CLOCK_ALLOWED_MODULES):
         return
@@ -133,7 +136,8 @@ def check_wall_clock(ctx: FileContext) -> Iterator[FileFinding]:
                     node.col_offset,
                     f"wall-clock call {name}() breaks replay determinism; "
                     "use EventLoop virtual time (loop.now) — real-time "
-                    "measurement belongs in repro/perf.py",
+                    "measurement belongs in repro/perf.py or "
+                    "repro/obs/prof.py",
                 )
 
 

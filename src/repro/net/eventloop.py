@@ -34,7 +34,10 @@ import heapq
 import itertools
 import math
 import random
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.prof import Profiler
 
 __all__ = ["EventLoop", "TimerHandle"]
 
@@ -97,6 +100,12 @@ class EventLoop:
         self._heap: list[tuple[float, int, int, TimerHandle]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: Optional hot-path profiler (repro.obs.prof.Profiler) — the same
+        #: zero-cost-when-disabled idiom as the probe bus: one attribute
+        #: load and one None test per dispatch.  The profiler observes
+        #: wall-clock only; it never touches the heap, the clock or the
+        #: rng, so attaching it cannot change a deterministic trace.
+        self.profile: "Profiler | None" = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -178,13 +187,23 @@ class EventLoop:
     def step(self) -> bool:
         """Run the single next event.  Returns ``False`` if the loop is idle."""
         heap = self._heap
+        prof = self.profile
         while heap:
             when, _, _, handle = heapq.heappop(heap)
             if handle.cancelled:
                 continue
             self.clock.advance_to(when)
             self._events_processed += 1
-            handle.callback(*handle.args)
+            if prof is None:
+                handle.callback(*handle.args)
+            else:
+                prof.begin_run()
+                t0 = prof.clock()
+                handle.callback(*handle.args)
+                prof.account(
+                    handle.callback, t0, prof.clock(), len(heap), when
+                )
+                prof.end_run()
             return True
         return False
 
@@ -200,24 +219,38 @@ class EventLoop:
         heap = self._heap
         clock = self.clock
         pop = heapq.heappop
-        while heap:
-            entry = heap[0]
-            handle = entry[3]
-            if handle.cancelled:
+        prof = self.profile
+        if prof is not None:
+            prof.begin_run()
+        try:
+            while heap:
+                entry = heap[0]
+                handle = entry[3]
+                if handle.cancelled:
+                    pop(heap)
+                    continue
+                when = entry[0]
+                if when > deadline:
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise RuntimeError(
+                        f"run_until exceeded max_events={max_events} before {deadline}"
+                    )
                 pop(heap)
-                continue
-            when = entry[0]
-            if when > deadline:
-                break
-            if max_events is not None and executed >= max_events:
-                raise RuntimeError(
-                    f"run_until exceeded max_events={max_events} before {deadline}"
-                )
-            pop(heap)
-            clock.advance_to(when)
-            self._events_processed += 1
-            handle.callback(*handle.args)
-            executed += 1
+                clock.advance_to(when)
+                self._events_processed += 1
+                if prof is None:
+                    handle.callback(*handle.args)
+                else:
+                    t0 = prof.clock()
+                    handle.callback(*handle.args)
+                    prof.account(
+                        handle.callback, t0, prof.clock(), len(heap), when
+                    )
+                executed += 1
+        finally:
+            if prof is not None:
+                prof.end_run()
         if deadline > clock.now:
             clock.advance_to(deadline)
         return executed
@@ -242,24 +275,38 @@ class EventLoop:
         heap = self._heap
         clock = self.clock
         pop = heapq.heappop
-        while heap:
-            entry = heap[0]
-            handle = entry[3]
-            if handle.cancelled:
+        prof = self.profile
+        if prof is not None:
+            prof.begin_run(epoch=True)
+        try:
+            while heap:
+                entry = heap[0]
+                handle = entry[3]
+                if handle.cancelled:
+                    pop(heap)
+                    continue
+                when = entry[0]
+                if when >= end:
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise RuntimeError(
+                        f"run_epoch exceeded max_events={max_events} before {end}"
+                    )
                 pop(heap)
-                continue
-            when = entry[0]
-            if when >= end:
-                break
-            if max_events is not None and executed >= max_events:
-                raise RuntimeError(
-                    f"run_epoch exceeded max_events={max_events} before {end}"
-                )
-            pop(heap)
-            clock.advance_to(when)
-            self._events_processed += 1
-            handle.callback(*handle.args)
-            executed += 1
+                clock.advance_to(when)
+                self._events_processed += 1
+                if prof is None:
+                    handle.callback(*handle.args)
+                else:
+                    t0 = prof.clock()
+                    handle.callback(*handle.args)
+                    prof.account(
+                        handle.callback, t0, prof.clock(), len(heap), when
+                    )
+                executed += 1
+        finally:
+            if prof is not None:
+                prof.end_run()
         if end > clock.now:
             clock.advance_to(end)
         return executed

@@ -14,8 +14,21 @@ Six pieces (docs/OBSERVABILITY.md, docs/MONITORING.md):
   between two probe exports or bundles.
 * :mod:`repro.obs.scenario` — the shared quickstart scenario used by the
   ``repro obs`` CLI and the determinism tests.
+* :mod:`repro.obs.prof` — the hot-path wall-clock profiler: the separate
+  non-deterministic channel (docs/PROFILING.md).
+* :mod:`repro.obs.spans` — span/episode reconstruction over the probe
+  stream (token laps, 911 episodes, merge windows, resync ladders).
+* :mod:`repro.obs.agg` — bounded-state streaming aggregation with
+  deterministic cross-shard merge.
 """
 
+from repro.obs.agg import (
+    BoundedHistogram,
+    StreamAggregator,
+    merge_rollups,
+    render_rollup,
+    rollup_json,
+)
 from repro.obs.diff import (
     Divergence,
     canonical_records,
@@ -33,6 +46,7 @@ from repro.obs.monitor import (
     paper_contract_rules,
     render_alerts,
 )
+from repro.obs.prof import Profiler, imbalance, render_epoch_stats
 from repro.obs.probe import (
     PROBE_CATALOG,
     ProbeBus,
@@ -62,8 +76,20 @@ from repro.obs.registry import (
     MetricsRegistry,
     ProbeMetrics,
 )
+from repro.obs.spans import Span, SpanTimeline, reconstruct_spans
 
 __all__ = [
+    "BoundedHistogram",
+    "StreamAggregator",
+    "merge_rollups",
+    "render_rollup",
+    "rollup_json",
+    "Profiler",
+    "imbalance",
+    "render_epoch_stats",
+    "Span",
+    "SpanTimeline",
+    "reconstruct_spans",
     "PROBE_CATALOG",
     "ProbeBus",
     "ProbeEvent",

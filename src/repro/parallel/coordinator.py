@@ -45,6 +45,8 @@ class ParallelRunResult:
         "facts",
         "assignment",
         "probe_streams",
+        "profiles",
+        "rollup",
     )
 
     def __init__(
@@ -56,6 +58,8 @@ class ParallelRunResult:
         facts: dict[str, Any],
         assignment: tuple[int, ...],
         probe_streams: list[list[ProbeEvent]],
+        profiles: list[dict[str, Any]] | None = None,
+        rollup: dict[str, Any] | None = None,
     ) -> None:
         self.mode = mode
         self.shards = shards
@@ -67,6 +71,12 @@ class ParallelRunResult:
         #: Group index -> worker index placement used for the run.
         self.assignment = assignment
         self.probe_streams = probe_streams
+        #: Per-worker profiler summaries (run with ``profile=True``) — the
+        #: non-deterministic wall-clock channel, one dict per worker.
+        self.profiles = profiles or []
+        #: Deterministic merged telemetry rollup (``aggregate=True``):
+        #: byte-identical across shard counts (repro.obs.agg).
+        self.rollup = rollup
 
     def probe_events(self) -> list[ProbeEvent]:
         """Canonically merged probe stream (shard-count invariant)."""
@@ -75,6 +85,20 @@ class ParallelRunResult:
     def stream_jsonl(self) -> str:
         """Canonical merged probe stream as JSONL (golden-trace format)."""
         return merged_stream_jsonl(self.probe_streams)
+
+    def rollup_jsonl(self) -> str:
+        """Canonical rollup serialization (requires ``aggregate=True``)."""
+        if self.rollup is None:
+            raise ValueError("run with aggregate=True to collect a rollup")
+        from repro.obs.agg import rollup_json
+
+        return rollup_json(self.rollup)
+
+    def epoch_imbalance(self) -> float:
+        """Utilization imbalance across workers (requires ``profile=True``)."""
+        from repro.obs.prof import imbalance
+
+        return imbalance(self.profiles)
 
 
 class ParallelSimulator:
@@ -107,6 +131,8 @@ class ParallelSimulator:
         mode: str = "auto",
         probes: bool = False,
         prepare: Any = None,
+        profile: bool = False,
+        aggregate: bool = False,
     ) -> ParallelRunResult:
         """Run to ``horizon`` on ``shards`` workers.
 
@@ -118,34 +144,60 @@ class ParallelSimulator:
         :class:`~repro.parallel.workloads.WorkloadInstance` before it
         starts — the chaos campaign uses it to arm fault timers.  Serial
         mode only: closures cannot cross process boundaries.
+
+        ``profile=True`` attaches one wall-clock profiler per worker loop
+        (results in :attr:`ParallelRunResult.profiles`); ``aggregate=True``
+        attaches one streaming aggregator per worker and merges their
+        rollups into :attr:`ParallelRunResult.rollup` — a document that is
+        byte-identical across shard counts.  Neither touches the probe
+        stream or the golden byte-identity contract.
         """
         if mode == "auto":
             mode = "serial" if shards == 1 else "process"
         if mode == "serial":
-            return self._run_serial(horizon, shards, probes, prepare)
+            return self._run_serial(
+                horizon, shards, probes, prepare, profile, aggregate
+            )
         if mode == "process":
             if prepare is not None:
                 raise ValueError(
                     "prepare hooks are serial-only: a closure cannot be "
                     "shipped to shard worker processes"
                 )
-            return self._run_process(horizon, shards, probes)
+            return self._run_process(horizon, shards, probes, profile, aggregate)
         raise ValueError(f"unknown mode {mode!r} (serial|process|auto)")
 
     # ------------------------------------------------------------------
     # serial engine
     # ------------------------------------------------------------------
     def _run_serial(
-        self, horizon: float, shards: int, probes: bool, prepare: Any = None
+        self,
+        horizon: float,
+        shards: int,
+        probes: bool,
+        prepare: Any = None,
+        profile: bool = False,
+        aggregate: bool = False,
     ) -> ParallelRunResult:
         plan = self.plan()
         assignment = plan.assign(min(shards, len(plan.groups)))
         instance = build_workload(self.workload, self.seed, self.params)
 
         recorded: list[ProbeEvent] = []
-        if probes:
+        aggregator = None
+        if probes or aggregate:
             bus = instance.enable_probes()
-            bus.subscribe(recorded.append)
+            if probes:
+                bus.subscribe(recorded.append)
+            if aggregate:
+                from repro.obs.agg import StreamAggregator
+
+                aggregator = StreamAggregator().attach(bus)
+        profiler = None
+        if profile:
+            from repro.obs.prof import Profiler
+
+            profiler = Profiler(label="serial").attach(instance.loop)
 
         if prepare is not None:
             prepare(instance)
@@ -170,13 +222,20 @@ class ParallelSimulator:
             facts=instance.collect(),
             assignment=assignment,
             probe_streams=[recorded],
+            profiles=[profiler.to_dict()] if profiler is not None else None,
+            rollup=aggregator.to_dict() if aggregator is not None else None,
         )
 
     # ------------------------------------------------------------------
     # process engine
     # ------------------------------------------------------------------
     def _run_process(
-        self, horizon: float, shards: int, probes: bool
+        self,
+        horizon: float,
+        shards: int,
+        probes: bool,
+        profile: bool = False,
+        aggregate: bool = False,
     ) -> ParallelRunResult:
         plan = self.plan()
         if not plan.cut:
@@ -202,6 +261,8 @@ class ParallelSimulator:
                     assignment,
                     horizon,
                     probes,
+                    profile,
+                    aggregate,
                 ),
                 name=f"repro-shard-{w}",
             )
@@ -233,8 +294,17 @@ class ParallelSimulator:
             streams: list[list[ProbeEvent]] = []
             facts: dict[str, Any] = {}
             events = 0
+            profiles: list[dict[str, Any]] = []
+            rollups: list[dict[str, Any]] = []
             for w, conn in enumerate(conns):
-                tag, probe_records, worker_facts, worker_events = conn.recv()
+                (
+                    tag,
+                    probe_records,
+                    worker_facts,
+                    worker_events,
+                    worker_profile,
+                    worker_rollup,
+                ) = conn.recv()
                 if tag != "result":
                     raise RuntimeError(
                         f"coordinator: expected result from worker {w}, "
@@ -243,6 +313,10 @@ class ParallelSimulator:
                 streams.append(events_from_wire(probe_records))
                 facts.update(worker_facts)
                 events += worker_events
+                if worker_profile is not None:
+                    profiles.append(worker_profile)
+                if worker_rollup is not None:
+                    rollups.append(worker_rollup)
             for proc in workers:
                 proc.join(timeout=30.0)
         finally:
@@ -253,6 +327,11 @@ class ParallelSimulator:
                     proc.terminate()
                     proc.join()
 
+        rollup = None
+        if rollups:
+            from repro.obs.agg import merge_rollups
+
+            rollup = merge_rollups(rollups)
         return ParallelRunResult(
             mode="process",
             shards=shards,
@@ -261,6 +340,8 @@ class ParallelSimulator:
             facts=dict(sorted(facts.items())),
             assignment=assignment,
             probe_streams=streams,
+            profiles=profiles or None,
+            rollup=rollup,
         )
 
 

@@ -7,7 +7,18 @@ loop against the coordinator over a pipe:
 
 ``("batch", k, {peer: records})``  worker → coordinator after epoch k
 ``("inject", k, records)``         coordinator → worker before epoch k+1
-``("result", probe_records, facts, events)``  worker → coordinator at end
+``("result", probe_records, facts, events, profile, rollup)``
+                                   worker → coordinator at end
+
+``profile`` is the worker's :meth:`~repro.obs.prof.Profiler.to_dict`
+(or ``None``): per-callback wall-time attribution plus per-epoch wall
+durations, which the coordinator folds into the cross-shard utilization
+imbalance report.  ``rollup`` is the worker's local
+:meth:`~repro.obs.agg.StreamAggregator.to_dict` (or ``None``); the
+coordinator merges worker rollups with
+:func:`~repro.obs.agg.merge_rollups` into the byte-identical document a
+serial run would produce.  Both ride the result message only — the
+profiler's wall-clock readings never enter the probe stream.
 
 The epoch boundaries are computed as ``(k + 1) * epoch`` from epoch
 *indices* — never by accumulating floats — so every worker and the serial
@@ -77,6 +88,8 @@ def worker_main(
     assignment: tuple[int, ...],
     horizon: float,
     probes: bool,
+    profile: bool = False,
+    aggregate: bool = False,
 ) -> None:
     """Entry point of one shard worker process."""
     # Topology-only build (active=∅) to derive the plan identically to the
@@ -103,9 +116,22 @@ def worker_main(
     instance.network.set_exchange(exchange, frozenset(plan.trunks))
 
     recorded: list[ProbeEvent] = []
-    if probes:
+    aggregator = None
+    if probes or aggregate:
         bus = instance.enable_probes()
-        bus.subscribe(recorded.append)
+        if probes:
+            bus.subscribe(recorded.append)
+        if aggregate:
+            from repro.obs.agg import StreamAggregator
+
+            aggregator = StreamAggregator().attach(bus)
+    profiler = None
+    if profile:
+        from repro.obs.prof import Profiler
+
+        profiler = Profiler(label=f"shard-{worker_index}").attach(
+            instance.loop
+        )
 
     instance.start()
     events = 0
@@ -130,6 +156,8 @@ def worker_main(
             [event_record(e) for e in recorded],
             instance.collect(),
             events,
+            profiler.to_dict() if profiler is not None else None,
+            aggregator.to_dict() if aggregator is not None else None,
         )
     )
     conn.close()

@@ -35,6 +35,16 @@ Metrics (all higher-is-better except ``wall_clock_per_sim_second``):
   ring through replicated SharedDict writes (segmented op log, hash
   chaining, acks and pruning — the whole docs/RESYNC.md bookkeeping)
   relative to plain multicasts of the same count (lower is better).
+* ``prof_overhead_ratio`` — wall-clock cost of the reference ring with the
+  hot-path profiler (:mod:`repro.obs.prof`) attached to the event loop,
+  relative to running unprofiled (lower is better).  The profiler reads
+  the wall clock twice per dispatched event, so this prices the whole
+  ``repro prof`` attribution channel (docs/PROFILING.md).
+* ``agg_overhead_ratio`` — wall-clock cost of the probed reference ring
+  with a :class:`~repro.obs.agg.StreamAggregator` folding every probe
+  into bounded per-node state, relative to probes + recorder alone
+  (lower is better; isolates what *streaming aggregation* adds on top of
+  the instrumentation it rides on).
 
 ``repro bench`` (see :mod:`repro.cli`) runs the suite, writes a JSON
 report, and can gate on a committed baseline with a relative tolerance.
@@ -55,6 +65,8 @@ __all__ = [
     "bench_probe_overhead",
     "bench_monitor_overhead",
     "bench_resync_overhead",
+    "bench_prof_overhead",
+    "bench_agg_overhead",
     "bench_shard_scaling",
     "run_suite",
     "write_report",
@@ -86,6 +98,8 @@ _LOWER_IS_BETTER = {
     "probe_overhead_ratio",
     "monitor_overhead_ratio",
     "resync_overhead_ratio",
+    "prof_overhead_ratio",
+    "agg_overhead_ratio",
 }
 
 
@@ -245,6 +259,79 @@ def bench_resync_overhead(sim_seconds: float) -> float:
     return replicated / plain
 
 
+def bench_prof_overhead(sim_seconds: float) -> float:
+    """Profiler-overhead ratio of the loaded reference ring.
+
+    Runs the :func:`bench_loaded_ring` workload twice — once as shipped
+    (``loop.profile is None``, one attribute load per dispatch) and once
+    with a :class:`~repro.obs.prof.Profiler` attached to the event loop —
+    and returns ``profiled_wall / plain_wall``.
+    """
+    from repro.cluster.harness import RaincoreCluster
+    from repro.core.config import RaincoreConfig
+
+    def one_run(profiled: bool) -> float:
+        cluster = RaincoreCluster(
+            [f"n{i}" for i in range(8)],
+            seed=2,
+            config=RaincoreConfig.tuned(ring_size=8, hop_interval=0.005),
+        )
+        if profiled:
+            from repro.obs.prof import Profiler
+
+            Profiler().attach(cluster.loop)
+        cluster.start_all()
+        for i in range(50):
+            cluster.node(f"n{i % 8}").multicast(f"m{i}", size=200)
+        t0 = time.perf_counter()
+        cluster.run(sim_seconds)
+        t1 = time.perf_counter()
+        return t1 - t0
+
+    plain = one_run(False)
+    profiled = one_run(True)
+    return profiled / plain
+
+
+def bench_agg_overhead(sim_seconds: float) -> float:
+    """Streaming-aggregation overhead ratio over the probed reference ring.
+
+    Runs the probed :func:`bench_loaded_ring` workload (bus + flight
+    recorder, the ``probe_overhead_ratio`` numerator) twice — with and
+    without a :class:`~repro.obs.agg.StreamAggregator` subscribed — and
+    returns ``aggregated_wall / probed_wall``: what folding every probe
+    into bounded per-node reducers costs on top of emitting the probes.
+    """
+    from repro.cluster.harness import RaincoreCluster
+    from repro.core.config import RaincoreConfig
+
+    def one_run(aggregated: bool) -> float:
+        cluster = RaincoreCluster(
+            [f"n{i}" for i in range(8)],
+            seed=2,
+            config=RaincoreConfig.tuned(ring_size=8, hop_interval=0.005),
+        )
+        from repro.obs import FlightRecorder
+
+        bus = cluster.enable_probes()
+        FlightRecorder(bus)
+        if aggregated:
+            from repro.obs.agg import StreamAggregator
+
+            StreamAggregator().attach(bus)
+        cluster.start_all()
+        for i in range(50):
+            cluster.node(f"n{i % 8}").multicast(f"m{i}", size=200)
+        t0 = time.perf_counter()
+        cluster.run(sim_seconds)
+        t1 = time.perf_counter()
+        return t1 - t0
+
+    probed = one_run(False)
+    aggregated = one_run(True)
+    return aggregated / probed
+
+
 def bench_shard_scaling(
     sim_seconds: float,
     shard_counts: tuple[int, ...] = (1, 2, 4, 8),
@@ -325,6 +412,12 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
     best_resync = min(
         bench_resync_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
     )
+    best_prof = min(
+        bench_prof_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
+    )
+    best_agg = min(
+        bench_agg_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
+    )
     # The scaling curve spawns process fleets; cap its repeats at 2 to
     # keep suite time sane (the floor on its metric is a coarse guard, not
     # a tight gate — see benchmarks/BENCH_baseline.json).
@@ -349,6 +442,8 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
             "probe_overhead_ratio": round(best_overhead, 4),
             "monitor_overhead_ratio": round(best_monitor, 4),
             "resync_overhead_ratio": round(best_resync, 4),
+            "prof_overhead_ratio": round(best_prof, 4),
+            "agg_overhead_ratio": round(best_agg, 4),
             "shard_scaling_efficiency_4x": scaling["shard_scaling_efficiency_4x"],
         },
         "shard_scaling": scaling,

@@ -7,11 +7,22 @@ actual UDP sockets on localhost.  The paper's deployments used UDP on a
 switched LAN (paper §2.1: "In typical implementations, it uses UDP"); this
 fabric lets the unmodified protocol stack run on the real thing.
 
-Wire format: ``pickle.dumps((src_addr, dst_addr, payload))``.  Pickle is
+Wire format: ``pickle.dumps((src_addr, dst_addr, size, payload))`` — the
+declared modelled size travels with the packet, exactly as the simulator's
+``Datagram`` carries it, so receive-side accounting and probes report the
+same size the sender declared.  Pickle is
 acceptable here because the fabric is a loopback/demo transport between
 cooperating processes you started yourself; a production port would swap in
 an explicit codec (every message type already reports ``wire_size()``, so
 the sizes are modelled independently of the encoding).
+
+Like the simulated network, the fabric carries an optional ``probe`` bus
+(``None`` = observability off) and emits the same ``net.send`` /
+``net.deliver`` / ``net.drop`` catalogue kinds with the same argument
+shapes, so :mod:`repro.obs` consumers (aggregators, monitors, diff) work
+unchanged over real sockets.  Real-fabric drop sites get their own
+``where`` labels: ``no-endpoint`` (sender socket closed), ``unpicklable``,
+``garbage`` (undecodable datagram), ``misaddressed``, and ``unbound``.
 """
 
 from __future__ import annotations
@@ -59,6 +70,9 @@ class UdpFabric:
         self.topology = Topology()
         self.topology.add_segment(Segment(self.SEGMENT, latency=0.0, jitter=0.0))
         self.stats = StatsRegistry()
+        # Optional probe bus (repro.obs): None means observability is off
+        # and the hot path pays a single attribute load per packet.
+        self.probe = None
         self._handlers: dict[str, PacketHandler] = {}
         self._endpoints: dict[str, asyncio.DatagramTransport] = {}
         for node_id, port in self.ports.items():
@@ -116,35 +130,68 @@ class UdpFabric:
     def send(self, src: str, dst: str, payload: Any, size: int) -> None:
         sender = self.topology.owner_of(src)
         self.stats.for_node(sender).packet_sent(size)
+        probe = self.probe
+        frame = type(payload).__name__
+        if probe is not None:
+            probe.emit(sender, "net.send", src, dst, frame, size)
         endpoint = self._endpoints.get(src)
         if endpoint is None:
             self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    sender, "net.drop", src, dst, frame, size, "no-endpoint"
+                )
             return
         host, port = dst.rsplit(":", 1)
         try:
-            data = pickle.dumps((src, dst, payload))
+            data = pickle.dumps((src, dst, size, payload))
         except Exception:  # unpicklable payload: drop like a too-big datagram
             self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    sender, "net.drop", src, dst, frame, size, "unpicklable"
+                )
             return
         endpoint.sendto(data, (host, int(port)))
 
     # ------------------------------------------------------------------
     def _on_datagram(self, local_addr: str, data: bytes) -> None:
+        probe = self.probe
+        receiver = self.topology.owner_of(local_addr)
         try:
-            src, dst, payload = pickle.loads(data)
+            src, dst, size, payload = pickle.loads(data)
         except Exception:
             self.packets_dropped += 1
+            if probe is not None:
+                # Undecodable bytes carry no trustworthy header fields.
+                probe.emit(
+                    receiver,
+                    "net.drop",
+                    "?",
+                    local_addr,
+                    "?",
+                    len(data),
+                    "garbage",
+                )
             return
+        frame = type(payload).__name__
         if dst != local_addr:
             self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    receiver, "net.drop", src, dst, frame, size, "misaddressed"
+                )
             return
         handler = self._handlers.get(local_addr)
         if handler is None:
             self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    receiver, "net.drop", src, dst, frame, size, "unbound"
+                )
             return
-        receiver = self.topology.owner_of(local_addr)
-        # Size on receive is modelled (wire_size), mirroring the simulator.
-        size = getattr(payload, "wire_size", lambda: len(data))()
         self.stats.for_node(receiver).packet_received(size)
         self.packets_delivered += 1
+        if probe is not None:
+            probe.emit(receiver, "net.deliver", src, dst, frame, size)
         handler(Datagram(src, dst, payload, size))

@@ -135,3 +135,90 @@ def test_load_events_failure_modes(tmp_path):
     foreign_bundle.write_text(json.dumps({"schema": "other/1", "events": []}))
     with pytest.raises(ValueError, match="supported"):
         load_events(foreign_bundle)
+
+
+def test_load_events_truncated_jsonl_names_the_line(tmp_path):
+    """A JSONL export cut mid-record (crash during write, partial copy)
+    fails with the exact line number of the torn record."""
+    good = '{"n": 1, "at": 0.0, "node": "A", "kind": "core.wakeup", "args": []}'
+    torn = tmp_path / "torn.jsonl"
+    torn.write_text(good + "\n" + good[: len(good) // 2] + "\n")
+    with pytest.raises(ValueError, match=r"torn\.jsonl:2: not JSON"):
+        load_events(torn)
+
+
+def test_load_events_record_missing_keys_names_line_and_keys(tmp_path):
+    """A stream mixing probe records with some other JSONL schema fails at
+    the first foreign line, naming the missing keys."""
+    good = '{"n": 1, "at": 0.0, "node": "A", "kind": "core.wakeup", "args": []}'
+    mixed = tmp_path / "mixed.jsonl"
+    mixed.write_text(good + "\n" + '{"n": 2, "at": 0.1, "node": "A"}' + "\n")
+    with pytest.raises(ValueError, match=r"mixed\.jsonl:2: not a probe event"):
+        load_events(mixed)
+    with pytest.raises(ValueError, match="kind, args"):
+        load_events(mixed)
+
+
+def test_load_events_v1_bundle_backfills_alerts(tmp_path):
+    """A legacy /1 bundle (written before the alerts section existed)
+    loads fine: load_bundle backfills ``alerts: []`` and load_events
+    reads its events like any /2 bundle's."""
+    from repro.obs import load_bundle
+
+    events = quickstart_events()
+    v1 = {
+        "schema": "repro.obs.bundle/1",
+        "reason": "manual",
+        "detail": "",
+        "at": 0.5,
+        "nodes": sorted({e.node for e in events}),
+        "context": {},
+        "events": [event_record(e) for e in events],
+        "metrics": {},
+        "schedule": None,
+    }
+    assert "alerts" not in v1
+    path = tmp_path / "legacy.bundle.json"
+    path.write_text(json.dumps(v1, sort_keys=True, indent=2))
+    loaded = load_bundle(path)
+    assert loaded["alerts"] == []
+    assert load_events(path) == [event_record(e) for e in events]
+
+
+def test_load_events_single_record_line_is_jsonl_not_bundle(tmp_path):
+    """Format sniffing edge: a one-line export starts with ``{`` and parses
+    as a whole-file JSON object, but without a ``schema`` key it must be
+    treated as JSONL, not rejected as a malformed bundle."""
+    path = tmp_path / "one.jsonl"
+    path.write_text(
+        '{"n": 1, "at": 0.0, "node": "A", "kind": "core.wakeup", "args": []}\n'
+    )
+    records = load_events(path)
+    assert len(records) == 1 and records[0]["kind"] == "core.wakeup"
+
+
+# ----------------------------------------------------------------------
+# renumber_events: canonical ordinals for merged streams
+# ----------------------------------------------------------------------
+def test_renumber_assigns_ordinals_in_given_order():
+    from repro.obs.probe import ProbeEvent, renumber_events
+
+    # Equal-timestamp ties: renumbering must keep the caller's order
+    # verbatim (the canonical merge order is (at, node, kind, n) — the
+    # renumberer itself never re-sorts).
+    events = [
+        ProbeEvent(7, 0.5, "B", "core.wakeup", ()),  # raincheck: disable=RC402 -- synthetic ties with chosen ordinals
+        ProbeEvent(3, 0.5, "A", "core.wakeup", ()),  # raincheck: disable=RC402 -- synthetic ties with chosen ordinals
+        ProbeEvent(9, 0.5, "A", "node.shutdown", ("leave",)),  # raincheck: disable=RC402 -- synthetic ties with chosen ordinals
+    ]
+    renumbered = renumber_events(events)
+    assert [e.n for e in renumbered] == [1, 2, 3]
+    assert [(e.at, e.node, e.kind, e.args) for e in renumbered] == [
+        (e.at, e.node, e.kind, e.args) for e in events
+    ]
+    # Renumbering is idempotent: a second pass changes no record.
+    twice = renumber_events(renumbered)
+    assert [event_record(e) for e in twice] == [
+        event_record(e) for e in renumbered
+    ]
+    assert renumber_events([]) == []

@@ -21,6 +21,8 @@ def test_run_suite_quick_reports_all_metrics():
         "probe_overhead_ratio",
         "monitor_overhead_ratio",
         "resync_overhead_ratio",
+        "prof_overhead_ratio",
+        "agg_overhead_ratio",
         "shard_scaling_efficiency_4x",
     }
     assert all(v > 0 for v in metrics.values())

@@ -1,0 +1,61 @@
+"""Drift check: the probe catalogue table in docs/OBSERVABILITY.md must
+match ``repro.obs.probe.PROBE_CATALOG`` exactly — every kind documented,
+no stale rows, field names verbatim and in order.
+
+The table is the human contract for probe consumers (dashboards, diff
+tooling, external parsers); the dict is what ``emit`` enforces.  This test
+fails whenever a probe kind is added, removed or re-fielded without the
+documentation keeping up.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.probe import PROBE_CATALOG
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
+
+_ROW = re.compile(r"^\| `(?P<kind>[a-z_.]+)` \| (?P<fields>[^|]+) \|")
+
+
+def documented_catalog():
+    """Parse the markdown table into {kind: (field, ...)}."""
+    catalog = {}
+    in_section = False
+    for line in DOC.read_text().splitlines():
+        if line.startswith("## "):
+            in_section = line == "## Probe catalogue"
+            continue
+        if not in_section:
+            continue
+        m = _ROW.match(line)
+        if m is None:
+            continue
+        fields = m.group("fields").strip()
+        catalog[m.group("kind")] = (
+            () if fields == "—" else tuple(f.strip() for f in fields.split(","))
+        )
+    return catalog
+
+
+def test_every_catalog_kind_is_documented():
+    documented = documented_catalog()
+    assert documented, "probe catalogue table not found in OBSERVABILITY.md"
+    missing = sorted(set(PROBE_CATALOG) - set(documented))
+    assert not missing, f"kinds missing from OBSERVABILITY.md table: {missing}"
+
+
+def test_no_stale_documented_kinds():
+    stale = sorted(set(documented_catalog()) - set(PROBE_CATALOG))
+    assert not stale, f"OBSERVABILITY.md documents unknown kinds: {stale}"
+
+
+def test_documented_fields_match_catalog_order():
+    documented = documented_catalog()
+    for kind, fields in sorted(PROBE_CATALOG.items()):
+        assert documented.get(kind) == fields, (
+            f"{kind}: doc says {documented.get(kind)}, "
+            f"PROBE_CATALOG says {fields}"
+        )

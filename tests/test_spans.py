@@ -1,0 +1,240 @@
+"""Tests for repro.obs.spans: span/episode reconstruction.
+
+Three real failure shapes are exercised end-to-end (non-holder crash via
+fd accusation, holder crash via starvation regeneration, pure token loss
+with no victim), plus synthetic streams for the merge-window and resync
+ladder folds where the exact event geometry matters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.harness import RaincoreCluster
+from repro.obs.diff import first_divergence, load_events
+from repro.obs.probe import ProbeEvent
+from repro.obs.scenario import run_quickstart
+from repro.obs.spans import DEFAULT_BOUNDS, Span, SpanTimeline, reconstruct_spans
+
+
+def make_event(n, at, node, kind, args=()):
+    # Synthetic stream: the merge-window and resync-ladder folds are
+    # tested against exact event geometry a live run can't pin down.
+    return ProbeEvent(n, at, node, kind, tuple(args))  # raincheck: disable=RC402 -- synthetic test stream with chosen timestamps
+
+
+def recorded_cluster(ids, seed):
+    cluster = RaincoreCluster(ids, seed=seed)
+    events = []
+    cluster.enable_probes().subscribe(events.append)
+    cluster.start_all()
+    return cluster, events
+
+
+# ----------------------------------------------------------------------
+# token laps
+# ----------------------------------------------------------------------
+def test_token_laps_cover_every_accept_pair():
+    run = run_quickstart(nodes=4, seed=7, duration=1.0, crash=False)
+    timeline = reconstruct_spans(run.events)
+    laps = timeline.of_kind("token.lap")
+    assert laps
+    accepts_by_node = {}
+    for e in run.events:
+        if e.kind == "token.accept":
+            accepts_by_node[e.node] = accepts_by_node.get(e.node, 0) + 1
+    # N accepts at one node bound exactly N-1 laps there.
+    expected = sum(c - 1 for c in accepts_by_node.values() if c > 1)
+    assert len(laps) == expected
+    for lap in laps:
+        assert lap.duration > 0.0
+        assert lap.get("gen") is not None
+
+
+# ----------------------------------------------------------------------
+# 911 episode shapes
+# ----------------------------------------------------------------------
+def test_episode_nonholder_crash_detected_by_fd():
+    """Shape A: a non-holder crash is accused by failure-on-delivery; the
+    episode carries the fd.arm->fd.fire detection latency and it respects
+    the paper's 0.15 s bound."""
+    run = run_quickstart(nodes=4, seed=2024, duration=1.0, crash=True)
+    timeline = reconstruct_spans(run.events)
+    episodes = timeline.of_kind("episode.911")
+    fd_episodes = [s for s in episodes if s.get("via") == "fd"]
+    assert fd_episodes
+    for s in fd_episodes:
+        assert s.get("victim") is not None
+        detect = s.get("detect")
+        assert detect is not None
+        assert detect <= DEFAULT_BOUNDS["episode.911.detect"] * 1.10
+        assert s.get("stabilize") >= 0.0
+        assert s.duration >= detect
+    assert timeline.check() == []
+
+
+def test_episode_holder_crash_recovers_via_starvation():
+    """Shape B: a crashed token *holder* is never accused (the token died
+    with it) — the hungry timeout regenerates, and the victim is inferred
+    from the membership delta across the regeneration."""
+    ids = ["A", "B", "C", "D"]
+    cluster, events = recorded_cluster(ids, seed=11)
+    holders = []
+    for _ in range(400):
+        holders = cluster.token_holders()
+        if holders:
+            break
+        cluster.run(0.01)
+    assert holders, "token never landed"
+    victim = holders[0]
+    cluster.faults.crash_node(victim)
+    cluster.run_until_converged(15.0, expected=set(ids) - {victim})
+    cluster.run(1.0)  # let the regenerated token circulate
+
+    timeline = reconstruct_spans(events)
+    starvation = [
+        s
+        for s in timeline.of_kind("episode.911")
+        if s.get("via") == "starvation" and s.get("victim") == victim
+    ]
+    assert starvation, timeline.render()
+    episode = starvation[0]
+    assert episode.get("gen") is not None
+    assert episode.get("regen") >= 0.0
+    # Starvation episodes carry no fd verdict; check() must not flag them.
+    assert timeline.check() == []
+
+
+def test_episode_token_loss_is_victimless():
+    """Shape C: destroying the token without killing anyone yields a 911
+    episode with no victim (membership never changes)."""
+    ids = ["A", "B", "C"]
+    cluster, events = recorded_cluster(ids, seed=5)
+    cluster.run(0.5)
+    cluster.faults.lose_token_in_flight()
+    cluster.run(15.0)
+
+    timeline = reconstruct_spans(events)
+    victimless = [
+        s
+        for s in timeline.of_kind("episode.911")
+        if s.get("victim") is None and s.get("via") == "starvation"
+    ]
+    assert victimless, timeline.render()
+    assert timeline.check() == []
+
+
+def test_check_flags_breaches_with_tight_bounds():
+    run = run_quickstart(nodes=4, seed=2024, duration=1.0, crash=True)
+    timeline = reconstruct_spans(run.events)
+    breaches = timeline.check(bounds={"episode.911.detect": 1e-9})
+    assert breaches
+    assert "detect" in breaches[0] and "bound" in breaches[0]
+    # Percentile bounds apply per kind without tolerance.
+    assert timeline.check(bounds={"token.lap.p95": 1e-12})
+    assert timeline.check(bounds={"token.lap.p95": 1e9}) == []
+
+
+# ----------------------------------------------------------------------
+# synthetic folds: merge windows and resync ladders
+# ----------------------------------------------------------------------
+def test_merge_window_spans_surrounding_views():
+    events = [
+        make_event(1, 1.0, "A", "view.change", ("v1", ("A", "B"))),
+        make_event(2, 2.0, "A", "token.merge", ("g.3", "g.1", "g.2", 7)),
+        make_event(3, 2.5, "A", "view.change", ("v2", ("A", "B", "C"))),
+    ]
+    timeline = reconstruct_spans(events)
+    merges = timeline.of_kind("merge.tbm")
+    assert len(merges) == 1
+    m = merges[0]
+    assert (m.start, m.end) == (1.0, 2.5)
+    assert m.get("gen") == "g.3"
+    assert m.get("left") == "g.1" and m.get("right") == "g.2"
+
+
+def test_merge_window_degenerates_without_views():
+    events = [make_event(1, 2.0, "A", "token.merge", ("g.3", "g.1", "g.2", 7))]
+    m = reconstruct_spans(events).of_kind("merge.tbm")[0]
+    assert m.start == m.end == 2.0 and m.duration == 0.0
+
+
+def test_resync_ladder_counts_rungs_and_deepest():
+    events = [
+        make_event(1, 1.0, "A", "resync.delta", ("locks", "R", 10, 4, 256)),
+        make_event(2, 1.2, "A", "resync.delta", ("locks", "R", 14, 2, 128)),
+        make_event(3, 1.5, "A", "resync.snapshot_fallback", ("locks", "R", 3, 9)),
+        make_event(4, 1.9, "A", "resync.quarantine", ("R", "flapping", True)),
+    ]
+    timeline = reconstruct_spans(events)
+    ladders = timeline.of_kind("resync.ladder")
+    assert len(ladders) == 1
+    ladder = ladders[0]
+    assert ladder.node == "R"  # the span belongs to the resyncing peer
+    assert (ladder.start, ladder.end) == (1.0, 1.9)
+    assert ladder.get("deltas") == 2
+    assert ladder.get("snapshots") == 1
+    assert ladder.get("quarantines") == 1
+    assert ladder.get("deepest") == "quarantine"
+
+
+def test_resync_gap_opens_a_new_ladder():
+    events = [
+        make_event(1, 1.0, "A", "resync.delta", ("locks", "R", 10, 4, 256)),
+        make_event(2, 20.0, "A", "resync.delta", ("locks", "R", 30, 1, 64)),
+    ]
+    ladders = reconstruct_spans(events).of_kind("resync.ladder")
+    assert len(ladders) == 2
+    assert all(ladder.get("deepest") == "delta" for ladder in ladders)
+
+
+# ----------------------------------------------------------------------
+# timeline mechanics
+# ----------------------------------------------------------------------
+def test_spans_sort_deterministically_and_summarize():
+    spans = [
+        Span("b.kind", "B", 1.0, 3.0),
+        Span("a.kind", "A", 1.0, 2.0),
+        Span("a.kind", "A", 0.5, 1.0),
+    ]
+    timeline = SpanTimeline(spans)
+    assert [s.start for s in timeline.spans] == [0.5, 1.0, 1.0]
+    assert timeline.kinds() == {"a.kind": 2, "b.kind": 1}
+    summary = timeline.summary()
+    assert summary["a.kind"]["count"] == 2.0
+    assert summary["a.kind"]["max"] == pytest.approx(1.0)
+    text = timeline.render(limit=2)
+    assert text.startswith("spans: 3")
+    assert "... 1 more spans" in text
+
+
+def test_reconstruction_is_deterministic_per_seed():
+    runs = [
+        run_quickstart(nodes=4, seed=2024, duration=1.0, crash=True)
+        for _ in range(2)
+    ]
+    timelines = [reconstruct_spans(r.events) for r in runs]
+    assert timelines[0].spans == timelines[1].spans
+    assert timelines[0].to_records() == timelines[1].to_records()
+
+
+def test_to_records_round_trips_through_obs_diff(tmp_path):
+    run = run_quickstart(nodes=4, seed=2024, duration=1.0, crash=True)
+    records = reconstruct_spans(run.events).to_records()
+    assert records
+    assert [r["n"] for r in records] == list(range(1, len(records) + 1))
+    for r in records:
+        assert r["kind"].startswith("span.")
+        json.dumps(r)  # every record is JSON-safe
+    path = tmp_path / "spans.jsonl"
+    path.write_text(
+        "".join(
+            json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
+            for r in records
+        )
+    )
+    loaded = load_events(path)
+    assert len(loaded) == len(records)
+    assert first_divergence(loaded, records) is None

@@ -1,10 +1,23 @@
 """Edge-case tests for the real-UDP fabric (no sockets needed for most)."""
 
 import asyncio
+import pickle
 
 import pytest
 
+from repro.net.eventloop import EventLoop
+from repro.obs.probe import ProbeBus
 from repro.runtime.udp import UdpFabric
+
+
+def probed_fabric(ports):
+    """Fabric with a probe bus attached; returns (fabric, recorded events)."""
+    fabric = UdpFabric(ports)
+    bus = ProbeBus(EventLoop(seed=1))
+    recorded = []
+    bus.subscribe(recorded.append)
+    fabric.probe = bus
+    return fabric, recorded
 
 
 def test_requires_nodes():
@@ -56,6 +69,112 @@ def test_garbage_datagram_dropped():
     fabric = UdpFabric({"A": 41030})
     fabric._on_datagram(fabric.address_of("A"), b"\x00not-a-pickle")
     assert fabric.packets_dropped == 1
+
+
+def test_probe_send_then_no_endpoint_drop():
+    fabric, recorded = probed_fabric({"A": 41060, "B": 41061})
+    src, dst = fabric.address_of("A"), fabric.address_of("B")
+    fabric.send(src, dst, b"x", 1)
+    assert [(e.node, e.kind) for e in recorded] == [
+        ("A", "net.send"),
+        ("A", "net.drop"),
+    ]
+    assert recorded[0].args == (src, dst, "bytes", 1)
+    assert recorded[1].args == (src, dst, "bytes", 1, "no-endpoint")
+
+
+def test_probe_unpicklable_drop():
+    fabric, recorded = probed_fabric({"A": 41062, "B": 41063})
+
+    async def scenario():
+        await fabric.open("A")
+        try:
+            fabric.send(
+                fabric.address_of("A"),
+                fabric.address_of("B"),
+                lambda: None,
+                8,
+            )
+        finally:
+            fabric.close_all()
+
+    asyncio.run(scenario())
+    assert [e.kind for e in recorded] == ["net.send", "net.drop"]
+    assert recorded[1].args[4] == "unpicklable"
+    assert recorded[1].args[2] == "function"  # the frame is the payload type
+
+
+def test_probe_garbage_drop_has_no_forged_header_fields():
+    fabric, recorded = probed_fabric({"A": 41064})
+    local = fabric.address_of("A")
+    fabric._on_datagram(local, b"\x00not-a-pickle")
+    (drop,) = recorded
+    assert drop.node == "A" and drop.kind == "net.drop"
+    # Undecodable bytes: src/frame are unknown, size is the raw length.
+    assert drop.args == ("?", local, "?", len(b"\x00not-a-pickle"), "garbage")
+
+
+def test_probe_misaddressed_unbound_and_deliver():
+    fabric, recorded = probed_fabric({"A": 41065, "B": 41066})
+    a, b = fabric.address_of("A"), fabric.address_of("B")
+
+    # Datagram whose inner dst disagrees with the receiving socket.
+    fabric._on_datagram(a, pickle.dumps((b, b, 5, b"stray")))
+    # Correctly addressed but nothing bound yet.
+    fabric._on_datagram(a, pickle.dumps((b, a, 5, b"early")))
+    # Bound: delivery emits net.deliver and reaches the handler.
+    got = []
+    fabric.bind(a, got.append)
+    fabric._on_datagram(a, pickle.dumps((b, a, 5, b"hello")))
+
+    kinds = [(e.kind, e.args[-1]) for e in recorded]
+    assert kinds == [
+        ("net.drop", "misaddressed"),
+        ("net.drop", "unbound"),
+        ("net.deliver", 5),  # last field of net.deliver is the size
+    ]
+    assert all(e.node == "A" for e in recorded)
+    assert got[0].payload == b"hello"
+    assert fabric.packets_delivered == 1 and fabric.packets_dropped == 2
+
+
+@pytest.mark.slow
+def test_probe_parity_with_simulated_network():
+    """A successful unicast emits the identical (node, kind, args) probe
+    sequence over real sockets as over the simulated DatagramNetwork —
+    the parity that lets every repro.obs consumer run unchanged on the
+    real fabric."""
+    from repro.net.datagram import DatagramNetwork
+
+    fabric, real = probed_fabric({"A": 41070, "B": 41071})
+    a, b = fabric.address_of("A"), fabric.address_of("B")
+
+    async def scenario():
+        await fabric.open_all()
+        try:
+            done = asyncio.get_event_loop().create_future()
+            fabric.bind(b, lambda p: done.set_result(p))
+            fabric.send(a, b, b"ping", 4)
+            await asyncio.wait_for(done, timeout=3.0)
+        finally:
+            fabric.close_all()
+
+    asyncio.run(scenario())
+
+    loop = EventLoop(seed=1)
+    net = DatagramNetwork(loop, fabric.topology)
+    bus = ProbeBus(loop)
+    sim = []
+    bus.subscribe(sim.append)
+    net.probe = bus
+    net.bind(b, lambda p: None)
+    net.send(a, b, b"ping", 4)
+    loop.run_until_idle()
+
+    assert [(e.node, e.kind, e.args) for e in sim] == [
+        (e.node, e.kind, e.args) for e in real
+    ]
+    assert [e.kind for e in real] == ["net.send", "net.deliver"]
 
 
 def test_close_is_idempotent():
