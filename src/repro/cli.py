@@ -17,7 +17,13 @@ Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
 * ``failover`` — the §3.2 cable-unplug experiment;
 * ``merge`` — split-brain and TBM merge walk-through;
 * ``hierarchy`` — the §5 two-plane scalability extension;
-* ``soak`` — randomized churn with invariant checks;
+* ``soak`` — randomized churn with invariant checks; ``--procs N`` runs
+  the REAL multi-process soak instead — N workers over localhost UDP
+  with the raintap telemetry plane, gating on clean formation and zero
+  wall-clock contract alerts (docs/TELEMETRY.md);
+* ``top`` — raintap live view: per-node state, view id and token rate of
+  a real multi-process cluster, streamed as redraw-free status lines,
+  with SIGKILL fault injection and breach postmortems;
 * ``chaos`` — seeded chaos campaigns: generated fault schedules,
   replayable traces, automatic shrinking of failures;
 * ``lint`` — raincheck static analysis: determinism and protocol
@@ -25,8 +31,10 @@ Installed as ``raincore-repro`` (or ``python -m repro``).  Subcommands:
 * ``bench`` — wall-clock throughput of the simulator itself, with
   optional regression gating against a committed baseline.
 
-Everything runs in simulated time, so each command finishes in seconds of
-wall clock regardless of how much virtual time it covers.
+Everything runs in simulated time — each command finishes in seconds of
+wall clock regardless of how much virtual time it covers — except ``top``
+and ``soak --procs``, which drive a real multi-process cluster and run
+for the wall-clock duration you ask for.
 """
 
 from __future__ import annotations
@@ -90,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
     q = obs_sub.add_parser(
         "summary",
         help="run the probed quickstart scenario and summarize its streams",
+    )
+    q.add_argument(
+        "file", nargs="?", metavar="FILE", default=None,
+        help="summarize this bundle/capture/export instead of running "
+        "the scenario (e.g. a raintap postmortem bundle)",
     )
     q.add_argument("--nodes", type=int, default=4)
     q.add_argument("--seed", type=int, default=2024)
@@ -302,6 +315,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=8)
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--procs", type=int, default=None, metavar="N",
+        help="run a REAL soak instead: N worker processes over localhost "
+        "UDP, probes shipped to the raintap collector, wall-clock contract "
+        "monitor gating on zero alerts (docs/TELEMETRY.md)",
+    )
+    p.add_argument(
+        "--seconds", type=float, default=5.0,
+        help="wall-clock run length of the --procs soak",
+    )
+    p.add_argument("--hop-interval", type=float, default=0.02)
+    p.add_argument(
+        "--kill", metavar="NODE@T[,NODE@T]", default=None,
+        help="SIGKILL NODE T wall seconds after start (with --procs)",
+    )
+    p.add_argument(
+        "--capture", metavar="FILE.jsonl", default=None,
+        help="write the merged probe feed as a capture file (--procs)",
+    )
+    p.add_argument(
+        "--postmortem", metavar="FILE.json", default=None,
+        help="where the breach postmortem bundle is written (--procs)",
+    )
+    p.add_argument(
+        "--expect-alerts", action="store_true",
+        help="with --procs: invert the gate — exit 0 only if at least one "
+        "alert fired and a postmortem bundle was cut (fault-injection CI)",
+    )
+
+    p = sub.add_parser(
+        "top",
+        help="raintap: live terminal view of a real multi-process cluster",
+    )
+    p.add_argument("--procs", type=int, default=3, metavar="N")
+    p.add_argument("--seconds", type=float, default=8.0)
+    p.add_argument("--hop-interval", type=float, default=0.02)
+    p.add_argument(
+        "--every", type=float, default=1.0,
+        help="seconds between status lines (redraw-free, CI-safe)",
+    )
+    p.add_argument(
+        "--kill", metavar="NODE@T[,NODE@T]", default=None,
+        help="SIGKILL NODE T wall seconds after start",
+    )
+    p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve the Prometheus-style /metrics exposition on this port "
+        "(0 = pick a free one; printed at start)",
+    )
+    p.add_argument("--capture", metavar="FILE.jsonl", default=None)
+    p.add_argument("--postmortem", metavar="FILE.json", default=None)
+    p.add_argument(
+        "--expect-alerts", action="store_true",
+        help="exit 0 only if at least one alert fired (fault-injection CI)",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -609,6 +677,54 @@ def cmd_obs(args) -> int:
             print(divergence.describe())
         return 0 if divergence is None else 1
 
+    if args.obs_command == "summary" and args.file:
+        from repro.obs import load_bundle, load_events, render_alerts
+
+        try:
+            bundle = load_bundle(args.file)
+        except ValueError:
+            bundle = None
+        if bundle is not None:
+            if quiet:
+                return 0
+            print(
+                f"bundle {args.file}: {bundle['schema']}  "
+                f"reason={bundle['reason']}  at={bundle['at']:.3f}s"
+            )
+            if bundle.get("detail"):
+                print(f"  detail: {bundle['detail']}")
+            print(f"  nodes: {', '.join(bundle['nodes'])}")
+            records = [
+                {"kind": e["kind"], "node": e["node"]}
+                for e in bundle["events"]
+            ]
+        else:
+            try:
+                records = load_events(args.file)
+            except ValueError as exc:
+                return _cli_error(str(exc))
+            if quiet:
+                return 0
+            ats = [float(r["at"]) for r in records]
+            print(
+                f"capture {args.file}: {len(records)} events over "
+                f"{max(ats) - min(ats):.3f}s"
+            )
+        by_kind: dict[str, int] = {}
+        by_node: dict[str, int] = {}
+        for r in records:
+            by_kind[r["kind"]] = by_kind.get(r["kind"], 0) + 1
+            by_node[r["node"]] = by_node.get(r["node"], 0) + 1
+        print(
+            "by node: " + "  ".join(f"{n}={c}" for n, c in sorted(by_node.items()))
+        )
+        print("by kind:")
+        for kind, count in sorted(by_kind.items(), key=lambda kv: (-kv[1], kv[0])):
+            print(f"  {kind:<20} {count}")
+        if bundle is not None and bundle.get("alerts"):
+            print(render_alerts(bundle["alerts"]))
+        return 0
+
     from repro.obs.scenario import run_quickstart
 
     run = run_quickstart(
@@ -901,9 +1017,93 @@ def cmd_merge(args) -> int:
     return 0 if ok else 1
 
 
+def _parse_kill_spec(spec: str | None) -> dict[str, float]:
+    """Parse ``--kill NODE@T[,NODE@T]`` into a node → seconds map."""
+    kills: dict[str, float] = {}
+    if not spec:
+        return kills
+    for part in spec.split(","):
+        node, sep, at = part.strip().partition("@")
+        if not sep or not node:
+            raise ValueError(f"--kill takes NODE@T (e.g. n02@2.0), got {part!r}")
+        try:
+            kills[node] = float(at)
+        except ValueError:
+            raise ValueError(f"--kill {part!r}: {at!r} is not a number") from None
+    return kills
+
+
+def _run_live(args, *, on_line) -> "object":
+    """Run a LiveCluster from parsed top/soak args (shared driver)."""
+    import asyncio
+
+    from repro.runtime.collector import LiveCluster
+
+    cluster = LiveCluster(
+        args.procs,
+        seconds=args.seconds,
+        hop_interval=args.hop_interval,
+        kill_at=_parse_kill_spec(args.kill),
+        capture_path=args.capture,
+        postmortem_path=args.postmortem,
+        metrics_port=getattr(args, "metrics_port", None),
+        report_every=getattr(args, "every", 1.0),
+        on_line=on_line,
+    )
+    return asyncio.run(cluster.run())
+
+
+def _live_verdict(args, result, *, quiet: bool = False) -> int:
+    """Shared top/soak exit-code logic over a LiveRunResult."""
+    if not quiet:
+        print(
+            f"live cluster: {args.procs} procs, {args.seconds:g}s, "
+            f"formed={result.formed}, events={result.events_released}, "
+            f"alerts={len(result.alerts)}, killed={result.killed or 'none'}"
+        )
+        for alert in result.alerts:
+            print("  " + alert.describe())
+        if result.capture_path:
+            print(f"capture: {result.capture_path}")
+        if result.postmortem_path:
+            print(f"postmortem bundle: {result.postmortem_path}")
+    if getattr(args, "expect_alerts", False):
+        ok = bool(result.alerts) and result.postmortem_path is not None
+        if not quiet:
+            print(f"expected alerts: {'fired' if ok else 'MISSING'}")
+        return 0 if ok else 1
+    return 0 if result.clean else 1
+
+
+def cmd_top(args) -> int:
+    try:
+        _parse_kill_spec(args.kill)
+    except ValueError as exc:
+        return _cli_error(str(exc))
+    result = _run_live(args, on_line=print)
+    return _live_verdict(args, result)
+
+
 def cmd_soak(args) -> int:
     from repro.cluster.harness import RaincoreCluster
     from repro.core.config import RaincoreConfig
+
+    if args.procs is not None:
+        # the real thing: N OS processes over UDP, raintap plane attached
+        if args.procs < 2:
+            return _cli_error(f"--procs must be >= 2, got {args.procs}")
+        try:
+            _parse_kill_spec(args.kill)
+        except ValueError as exc:
+            return _cli_error(str(exc))
+        args.every = 1.0
+        result = _run_live(args, on_line=print)
+        if not result.metrics_text.strip():
+            print("soak: /metrics exposition came back empty")
+        rc = _live_verdict(args, result)
+        verdict = "clean" if rc == 0 else "FAILED"
+        print(f"soak --procs: {verdict}")
+        return rc
 
     ids = [f"n{i:02d}" for i in range(args.nodes)]
     cluster = RaincoreCluster(
@@ -1236,6 +1436,7 @@ _COMMANDS = {
     "merge": cmd_merge,
     "hierarchy": cmd_hierarchy,
     "soak": cmd_soak,
+    "top": cmd_top,
     "chaos": cmd_chaos,
     "lint": cmd_lint,
     "spec": cmd_spec,

@@ -99,10 +99,18 @@ _WALL_CLOCK = frozenset(
         "datetime.date.today",
     }
 )
-#: The only modules allowed to read the wall clock: the perf harness and
-#: the hot-path profiler — both live on the non-deterministic telemetry
-#: channel and never feed the probe stream (docs/PROFILING.md).
-_CLOCK_ALLOWED_MODULES = ("repro/perf.py", "repro/obs/prof.py")
+#: The only modules allowed to read the wall clock: the perf harness, the
+#: hot-path profiler, and the raintap telemetry plane (shipper, collector,
+#: worker) — all live on the non-deterministic wall-clock side of the
+#: fence and never feed the *simulated* probe stream (docs/PROFILING.md,
+#: docs/TELEMETRY.md).
+_CLOCK_ALLOWED_MODULES = (
+    "repro/perf.py",
+    "repro/obs/prof.py",
+    "repro/runtime/telemetry.py",
+    "repro/runtime/collector.py",
+    "repro/runtime/worker.py",
+)
 
 #: Ambient entropy: different on every run, ruinous to replay.  Note that
 #: uuid3/uuid5 (name-based, deterministic in their inputs) are allowed.

@@ -44,6 +44,7 @@ from repro.obs.monitor import (
     RuleWindow,
     contract_rule,
     paper_contract_rules,
+    realtime_contract_rules,
     render_alerts,
 )
 from repro.obs.prof import Profiler, imbalance, render_epoch_stats
@@ -120,6 +121,7 @@ __all__ = [
     "RuleWindow",
     "contract_rule",
     "paper_contract_rules",
+    "realtime_contract_rules",
     "render_alerts",
     "Divergence",
     "canonical_records",

@@ -14,6 +14,8 @@ Works on anything that contains probe events:
 
 * a JSONL export (``repro obs export``, one ``event_record`` per line);
 * a diagnostic bundle (``repro.obs.bundle/1`` or ``/2``);
+* a raintap collector capture (``repro.obs.capture/1`` header line, then
+  event records with wall-clock ``at`` — docs/TELEMETRY.md);
 
 via :func:`load_events`, which sniffs the format.  The comparison is
 over canonical event records (ordinal, sim-time, node, kind, args), so
@@ -96,14 +98,41 @@ def canonical_records(events: list) -> list[dict]:
     return [_record_of(e) for e in events]
 
 
-def load_events(path: str | Path) -> list[dict]:
-    """Load probe-event records from a JSONL export or a diagnostic bundle.
+#: Schema-prefix of raintap collector capture files (the header line's
+#: ``schema`` value).  A literal, not an import: ``repro.obs`` never
+#: imports the runtime package.
+_CAPTURE_PREFIX = "repro.obs.capture/"
 
-    Sniffs the format: a whole-file JSON object carrying a ``schema`` key
-    is a bundle (validated by the bundle loader, any supported schema);
-    otherwise the file is treated as a JSONL export with one event record
-    per line.  Raises ``ValueError`` with the offending path/line on
-    anything malformed.
+
+def _capture_header(text: str) -> dict | None:
+    """The capture header object iff ``text`` starts with one, else None."""
+    first = text.lstrip().split("\n", 1)[0]
+    try:
+        obj = json.loads(first)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(obj, dict) and str(obj.get("schema", "")).startswith(
+        _CAPTURE_PREFIX
+    ):
+        return obj
+    return None
+
+
+def load_events(path: str | Path) -> list[dict]:
+    """Load probe-event records from an export, bundle, or capture file.
+
+    Sniffs the format: a first line whose JSON object claims a
+    ``repro.obs.capture/*`` schema is a collector capture (header
+    skipped, wall-clock records follow); a whole-file JSON object
+    carrying a ``schema`` key is a bundle (validated by the bundle
+    loader, any supported schema); otherwise the file is treated as a
+    JSONL export with one event record per line.  Raises ``ValueError``
+    with the offending path/line on anything malformed.
+
+    Capture files are written live by a collector and may have been cut
+    off mid-write (a killed soak run): a **final** line that is torn —
+    undecodable *and* missing its newline — is dropped silently.  A torn
+    line anywhere else is interleaved corruption and still raises.
     """
     path = Path(path)
     try:
@@ -113,6 +142,17 @@ def load_events(path: str | Path) -> list[dict]:
     stripped = text.lstrip()
     if not stripped:
         raise ValueError(f"{path} is empty — not a probe export or bundle")
+    header = _capture_header(stripped)
+    if header is not None:
+        schema = str(header["schema"])
+        if schema != _CAPTURE_PREFIX + "1":
+            raise ValueError(
+                f"{path}: unsupported capture schema {schema!r} "
+                f"(supported: {_CAPTURE_PREFIX}1)"
+            )
+        body = stripped.split("\n", 1)
+        return _load_jsonl(path, body[1] if len(body) > 1 else "",
+                           first_lineno=2, tolerate_torn_tail=True)
     if stripped.startswith("{"):
         try:
             doc = json.loads(text)
@@ -123,13 +163,25 @@ def load_events(path: str | Path) -> list[dict]:
             # (load_bundle validates it against SUPPORTED_SCHEMAS)
             bundle = load_bundle(path)
             return canonical_records(bundle["events"])
+    return _load_jsonl(path, text, first_lineno=1, tolerate_torn_tail=False)
+
+
+def _load_jsonl(
+    path: Path, text: str, *, first_lineno: int, tolerate_torn_tail: bool
+) -> list[dict]:
     records: list[dict] = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    last_index = len(lines) - 1
+    ends_with_newline = text.endswith("\n")
+    for i, line in enumerate(lines):
+        lineno = first_lineno + i
         if not line.strip():
             continue
         try:
             obj = json.loads(line)
         except json.JSONDecodeError as exc:
+            if tolerate_torn_tail and i == last_index and not ends_with_newline:
+                break  # torn final line of a live capture: drop it
             raise ValueError(
                 f"{path}:{lineno}: not JSON ({exc.msg}) — "
                 "expected a JSONL probe export"

@@ -15,6 +15,13 @@ Design rules:
   loop (``call_later``), windows are trailing *virtual*-time intervals,
   and rule evaluation is a pure function of the events in the window —
   two runs with one seed fire byte-identical alerts.
+* **Injectable clock.**  The monitor itself never names a time source: it
+  reads ``now``/``call_later`` from whatever clock it was handed — the
+  simulator's virtual loop by default (``bus.loop``), or a wall-clock
+  adapter when watching a real multi-process cluster
+  (:mod:`repro.runtime.collector`, docs/TELEMETRY.md).  In wall-clock
+  mode events arrive via :meth:`ContractMonitor.ingest` after the
+  collector's watermark merge, so windows still see a time-ordered feed.
 * **Declarative rules.**  A :class:`RuleSpec` is data: window, severity,
   for-duration, JSON-safe params, plus a registered pure check function.
   The paper-contract rule set is built by :func:`paper_contract_rules`
@@ -56,6 +63,7 @@ __all__ = [
     "CONTRACT_RULES",
     "contract_rule",
     "paper_contract_rules",
+    "realtime_contract_rules",
     "render_alerts",
 ]
 
@@ -399,6 +407,29 @@ def check_state_transitions(w: RuleWindow) -> Breach | None:
     return worst
 
 
+@contract_rule("telemetry-liveness")
+def check_telemetry_liveness(w: RuleWindow) -> Breach | None:
+    """Every registered probe source keeps shipping (cluster scope).
+
+    The collector emits ``telemetry.silent`` when a source that said
+    ``hello`` stops shipping frames — events *and* heartbeat marks — for
+    longer than the silence timeout without a clean ``bye``.  On a real
+    cluster that is what a killed worker looks like from the telemetry
+    plane: the process is gone, so no probe (not even ``node.shutdown``)
+    ever arrives.  Any silent source in the window is a breach.
+    """
+    silents = w.kinds("telemetry.silent")
+    if silents:
+        e = silents[-1]
+        return (
+            float(len(silents)),
+            0.0,
+            f"probe source {e.args[0]} silent for {e.args[1]}s "
+            "(no frames, no bye — worker dead or unreachable)",
+        )
+    return None
+
+
 @contract_rule("ring-liveness")
 def check_ring_liveness(w: RuleWindow) -> Breach | None:
     """The ring is circulating *somewhere* (cluster scope).
@@ -531,6 +562,47 @@ def paper_contract_rules(
     ]
 
 
+def realtime_contract_rules(
+    config: "RaincoreConfig",
+    n_nodes: int,
+    *,
+    segments: int = 1,
+    silence_timeout: float = 1.0,
+    **overrides,
+) -> list[RuleSpec]:
+    """The paper rule set retuned for a wall-clock multi-process cluster.
+
+    Same bounds, looser tolerances: on real sockets the OS scheduler —
+    not the simulator — decides when timers fire, so a loaded CI runner
+    legitimately jitters hop timing by tens of percent.  The sim-time
+    defaults would page on noise; these defaults page on collapse.  Adds
+    the ``telemetry-liveness`` rule, which only makes sense when probes
+    cross a process boundary: a silent source is a dead worker.
+
+    Keyword overrides pass straight through to
+    :func:`paper_contract_rules` (e.g. ``detection_bound=...``).
+    """
+    overrides.setdefault("rate_tolerance", 0.7)
+    overrides.setdefault("wakeup_epsilon", 2.0)
+    overrides.setdefault("wakeup_slack", 30.0)
+    overrides.setdefault("detection_tolerance", 1.0)
+    overrides.setdefault("window", 1.5)
+    overrides.setdefault("for_duration", 1.0)
+    rules = paper_contract_rules(config, n_nodes, segments=segments, **overrides)
+    rules.append(
+        RuleSpec(
+            name="telemetry-liveness",
+            summary="every registered probe source keeps shipping",
+            window=max(2.0 * silence_timeout, 2.0),
+            severity="critical",
+            for_duration=0.0,  # a silent worker is already the incident
+            scope="cluster",
+            params={"silence_timeout": silence_timeout},
+        )
+    )
+    return rules
+
+
 # ----------------------------------------------------------------------
 # the monitor
 # ----------------------------------------------------------------------
@@ -560,15 +632,21 @@ class ContractMonitor:
 
     def __init__(
         self,
-        bus: ProbeBus,
+        bus: ProbeBus | None,
         rules: list[RuleSpec],
         *,
         interval: float = 0.25,
+        clock=None,
     ) -> None:
         if interval <= 0.0:
             raise ValueError("interval must be positive")
+        if bus is None and clock is None:
+            raise ValueError("need a bus or an explicit clock")
         self.bus = bus
-        self.loop = bus.loop
+        #: The time source: anything with ``now`` and ``call_later``.
+        #: Defaults to the bus's (virtual) loop; a wall-clock adapter here
+        #: is what "ContractMonitor in wall-clock mode" means.
+        self.loop = clock if clock is not None else bus.loop
         self.rules = list(rules)
         self.interval = interval
         self.alerts: list[Alert] = []
@@ -585,7 +663,8 @@ class ContractMonitor:
         self._last: dict[tuple[str, str], tuple[float | None, float | None, bool]] = {}
         self._timer = None
         self._running = False
-        bus.subscribe(self._on_event)
+        if bus is not None:
+            bus.subscribe(self._on_event)
 
     # ------------------------------------------------------------------
     # stream ingestion (derived state is probe-driven and deterministic)
@@ -595,6 +674,15 @@ class ContractMonitor:
         if track is None:
             track = self._tracks[node] = _NodeTrack()
         return track
+
+    def ingest(self, event: ProbeEvent) -> None:
+        """Feed one event directly (no bus): the collector's entry point.
+
+        Events must arrive in non-decreasing ``at`` order — the
+        collector's watermark merge guarantees that for wall-clock
+        streams, exactly as the bus guarantees it for sim time.
+        """
+        self._on_event(event)
 
     def _on_event(self, event: ProbeEvent) -> None:
         self._events.append(event)
@@ -638,7 +726,8 @@ class ContractMonitor:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        self.bus.unsubscribe(self._on_event)
+        if self.bus is not None:
+            self.bus.unsubscribe(self._on_event)
 
     def _schedule(self) -> None:
         self._timer = self.loop.call_later(self.interval, self._tick)

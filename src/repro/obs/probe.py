@@ -96,6 +96,12 @@ PROBE_CATALOG: dict[str, tuple[str, ...]] = {
     "resync.snapshot_fallback": ("service", "peer", "peer_seq", "window_floor"),
     "resync.quarantine": ("peer", "reason", "active"),
     "resync.buffer": ("component", "bytes", "budget"),
+    # -- telemetry: the live probe-shipping plane (docs/TELEMETRY.md) --------
+    "telemetry.hello": ("source", "addr", "schema"),
+    "telemetry.gap": ("source", "expected", "got", "lost"),
+    "telemetry.drop": ("where", "size"),
+    "telemetry.silent": ("source", "quiet"),
+    "telemetry.bye": ("source", "shipped"),
     # -- apps ----------------------------------------------------------------
     "app.vip_install": ("vip",),
     "app.vip_release": ("vip",),

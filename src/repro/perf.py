@@ -45,6 +45,12 @@ Metrics (all higher-is-better except ``wall_clock_per_sim_second``):
   into bounded per-node state, relative to probes + recorder alone
   (lower is better; isolates what *streaming aggregation* adds on top of
   the instrumentation it rides on).
+* ``telemetry_overhead_ratio`` — wall-clock cost of the probed reference
+  ring with a :class:`~repro.runtime.telemetry.TelemetryShipper`
+  subscribed (restamp + JSON-frame every probe event, sink discarded),
+  relative to probes + recorder alone (lower is better; prices what the
+  raintap shipping plane adds per event before the socket,
+  docs/TELEMETRY.md).
 
 ``repro bench`` (see :mod:`repro.cli`) runs the suite, writes a JSON
 report, and can gate on a committed baseline with a relative tolerance.
@@ -67,6 +73,7 @@ __all__ = [
     "bench_resync_overhead",
     "bench_prof_overhead",
     "bench_agg_overhead",
+    "bench_telemetry_overhead",
     "bench_shard_scaling",
     "run_suite",
     "write_report",
@@ -100,6 +107,7 @@ _LOWER_IS_BETTER = {
     "resync_overhead_ratio",
     "prof_overhead_ratio",
     "agg_overhead_ratio",
+    "telemetry_overhead_ratio",
 }
 
 
@@ -332,6 +340,49 @@ def bench_agg_overhead(sim_seconds: float) -> float:
     return aggregated / probed
 
 
+def bench_telemetry_overhead(sim_seconds: float) -> float:
+    """Probe-shipping overhead ratio over the probed reference ring.
+
+    Runs the probed :func:`bench_loaded_ring` workload (bus + flight
+    recorder, the ``probe_overhead_ratio`` numerator) twice — with and
+    without a :class:`~repro.runtime.telemetry.TelemetryShipper`
+    subscribed, its sink a no-op — and returns ``shipped_wall /
+    probed_wall``: the per-event restamp + JSON framing cost of the
+    raintap plane, measured without socket noise.
+    """
+    from repro.cluster.harness import RaincoreCluster
+    from repro.core.config import RaincoreConfig
+
+    def one_run(shipped: bool) -> float:
+        cluster = RaincoreCluster(
+            [f"n{i}" for i in range(8)],
+            seed=2,
+            config=RaincoreConfig.tuned(ring_size=8, hop_interval=0.005),
+        )
+        from repro.obs import FlightRecorder
+
+        bus = cluster.enable_probes()
+        recorder = FlightRecorder(bus)
+        if shipped:
+            from repro.runtime.telemetry import TelemetryShipper
+
+            shipper = TelemetryShipper(
+                "bench", lambda data: None, recorder=recorder
+            )
+            bus.subscribe(shipper.on_probe)
+        cluster.start_all()
+        for i in range(50):
+            cluster.node(f"n{i % 8}").multicast(f"m{i}", size=200)
+        t0 = time.perf_counter()
+        cluster.run(sim_seconds)
+        t1 = time.perf_counter()
+        return t1 - t0
+
+    probed = one_run(False)
+    shipped = one_run(True)
+    return shipped / probed
+
+
 def bench_shard_scaling(
     sim_seconds: float,
     shard_counts: tuple[int, ...] = (1, 2, 4, 8),
@@ -418,6 +469,9 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
     best_agg = min(
         bench_agg_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
     )
+    best_telemetry = min(
+        bench_telemetry_overhead(knobs["ring_sim_seconds"]) for _ in range(repeats)
+    )
     # The scaling curve spawns process fleets; cap its repeats at 2 to
     # keep suite time sane (the floor on its metric is a coarse guard, not
     # a tight gate — see benchmarks/BENCH_baseline.json).
@@ -444,6 +498,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict[str, Any]
             "resync_overhead_ratio": round(best_resync, 4),
             "prof_overhead_ratio": round(best_prof, 4),
             "agg_overhead_ratio": round(best_agg, 4),
+            "telemetry_overhead_ratio": round(best_telemetry, 4),
             "shard_scaling_efficiency_4x": scaling["shard_scaling_efficiency_4x"],
         },
         "shard_scaling": scaling,

@@ -7,14 +7,22 @@ actual UDP sockets on localhost.  The paper's deployments used UDP on a
 switched LAN (paper §2.1: "In typical implementations, it uses UDP"); this
 fabric lets the unmodified protocol stack run on the real thing.
 
-Wire format: ``pickle.dumps((src_addr, dst_addr, size, payload))`` — the
-declared modelled size travels with the packet, exactly as the simulator's
-``Datagram`` carries it, so receive-side accounting and probes report the
-same size the sender declared.  Pickle is
-acceptable here because the fabric is a loopback/demo transport between
-cooperating processes you started yourself; a production port would swap in
-an explicit codec (every message type already reports ``wire_size()``, so
-the sizes are modelled independently of the encoding).
+Wire format: a 5-byte prefix — the magic ``b"RCF"`` plus one version byte
+(``0x01``) — followed by ``pickle.dumps((src_addr, dst_addr, size,
+payload))``.  The declared modelled size travels with the packet, exactly
+as the simulator's ``Datagram`` carries it, so receive-side accounting and
+probes report the same size the sender declared.  The prefix is the
+defensive layer: a datagram is only handed to ``pickle.loads`` after its
+magic and version check out, so arbitrary bytes sprayed at the port are
+counted and dropped (``bad-magic``) without ever reaching the
+deserializer, and frames above ``max_frame_bytes`` are dropped outright
+(``oversized``) on both the send and receive sides.  Pickle *after* the
+prefix check is acceptable because the fabric is a loopback/demo transport
+between cooperating processes you started yourself; a production port
+would swap in an explicit codec (every message type already reports
+``wire_size()``, so the sizes are modelled independently of the encoding).
+The telemetry sidecar channel (:mod:`repro.runtime.telemetry`) shares the
+prefix discipline but uses JSON bodies — no pickle at all.
 
 Like the simulated network, the fabric carries an optional ``probe`` bus
 (``None`` = observability off) and emits the same ``net.send`` /
@@ -22,7 +30,9 @@ Like the simulated network, the fabric carries an optional ``probe`` bus
 shapes, so :mod:`repro.obs` consumers (aggregators, monitors, diff) work
 unchanged over real sockets.  Real-fabric drop sites get their own
 ``where`` labels: ``no-endpoint`` (sender socket closed), ``unpicklable``,
-``garbage`` (undecodable datagram), ``misaddressed``, and ``unbound``.
+``oversized`` (frame above the cap, either direction), ``bad-magic``
+(wrong or missing prefix), ``garbage`` (valid prefix, undecodable body),
+``misaddressed``, and ``unbound``.
 """
 
 from __future__ import annotations
@@ -35,7 +45,13 @@ from repro.net.datagram import Datagram, PacketHandler
 from repro.net.stats import StatsRegistry
 from repro.net.topology import Segment, Topology
 
-__all__ = ["UdpFabric"]
+__all__ = ["UdpFabric", "FABRIC_MAGIC", "FABRIC_VERSION"]
+
+#: Datagram prefix: 3 magic bytes + 1 version byte.  Anything that does
+#: not start with this exact prefix is dropped before deserialization.
+FABRIC_MAGIC = b"RCF"
+FABRIC_VERSION = 1
+_PREFIX = FABRIC_MAGIC + bytes([FABRIC_VERSION])
 
 
 class _Endpoint(asyncio.DatagramProtocol):
@@ -59,14 +75,22 @@ class UdpFabric:
     ports:
         Mapping node id → UDP port.  Each node gets one NIC address of the
         form ``"127.0.0.1:<port>"`` on a single shared segment.
+    max_frame_bytes:
+        Cap on the encoded datagram size (prefix included).  Frames above
+        it are dropped with ``where="oversized"`` on whichever side sees
+        them first; the default stays under the classic 65507-byte UDP
+        payload limit.
     """
 
     SEGMENT = "udp0"
 
-    def __init__(self, ports: dict[str, int]) -> None:
+    def __init__(self, ports: dict[str, int], *, max_frame_bytes: int = 65_000) -> None:
         if not ports:
             raise ValueError("need at least one node")
+        if max_frame_bytes <= len(_PREFIX):
+            raise ValueError("max_frame_bytes must exceed the frame prefix")
         self.ports = dict(ports)
+        self.max_frame_bytes = max_frame_bytes
         self.topology = Topology()
         self.topology.add_segment(Segment(self.SEGMENT, latency=0.0, jitter=0.0))
         self.stats = StatsRegistry()
@@ -144,12 +168,19 @@ class UdpFabric:
             return
         host, port = dst.rsplit(":", 1)
         try:
-            data = pickle.dumps((src, dst, size, payload))
+            data = _PREFIX + pickle.dumps((src, dst, size, payload))
         except Exception:  # unpicklable payload: drop like a too-big datagram
             self.packets_dropped += 1
             if probe is not None:
                 probe.emit(
                     sender, "net.drop", src, dst, frame, size, "unpicklable"
+                )
+            return
+        if len(data) > self.max_frame_bytes:
+            self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    sender, "net.drop", src, dst, frame, size, "oversized"
                 )
             return
         endpoint.sendto(data, (host, int(port)))
@@ -158,19 +189,32 @@ class UdpFabric:
     def _on_datagram(self, local_addr: str, data: bytes) -> None:
         probe = self.probe
         receiver = self.topology.owner_of(local_addr)
+        # Received bytes carry no trustworthy header fields until the
+        # prefix checks out and the body decodes; drops before that point
+        # report src/frame as "?" and the raw datagram length as size.
+        if len(data) > self.max_frame_bytes:
+            self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    receiver, "net.drop", "?", local_addr, "?", len(data),
+                    "oversized",
+                )
+            return
+        if not data.startswith(_PREFIX):
+            self.packets_dropped += 1
+            if probe is not None:
+                probe.emit(
+                    receiver, "net.drop", "?", local_addr, "?", len(data),
+                    "bad-magic",
+                )
+            return
         try:
-            src, dst, size, payload = pickle.loads(data)
+            src, dst, size, payload = pickle.loads(data[len(_PREFIX):])
         except Exception:
             self.packets_dropped += 1
             if probe is not None:
-                # Undecodable bytes carry no trustworthy header fields.
                 probe.emit(
-                    receiver,
-                    "net.drop",
-                    "?",
-                    local_addr,
-                    "?",
-                    len(data),
+                    receiver, "net.drop", "?", local_addr, "?", len(data),
                     "garbage",
                 )
             return

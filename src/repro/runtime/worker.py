@@ -5,32 +5,116 @@ one process → **separate processes** with nothing shared but datagrams.
 Each worker runs exactly one session node over real UDP and reports its
 observations as JSON lines on stdout, so a parent (test, demo, or human
 with a terminal per node) can watch the cluster form across process
-boundaries.
+boundaries.  With ``--telemetry HOST:PORT`` the worker also attaches a
+probe bus and ships every probe event to a raintap collector
+(:mod:`repro.runtime.collector`) over the sidecar channel, keeping a
+flight-recorder ring to answer breach-time ``pull`` requests.
 
-Usage (normally spawned by ``examples/multiprocess_demo.py`` or the tests)::
+Usage (normally spawned by ``repro soak --procs N``, ``repro top``,
+``examples/multiprocess_demo.py`` or the tests)::
 
     python -m repro.runtime.worker --node A --port 42000 \
         --peers A=42000,B=42001,C=42002 --bootstrap --duration 3 \
-        --multicast-at 1.0 --payload hello
+        --multicast-at 1.0 --payload hello \
+        --telemetry 127.0.0.1:41999
 
-Protocol of the stdout stream: one JSON object per line with an ``event``
-field (``started``, ``view``, ``deliver``, ``done``).
+Stdout protocol (schema version 2)
+----------------------------------
+One JSON object per line.  Every line carries the envelope fields
+
+``v``
+    stdout schema version, the integer ``2``.  Consumers must check it:
+    version 1 lines (no ``v`` key) predate wall-clock timestamps.
+``ts``
+    Unix epoch wall-clock seconds (float) at emission — comparable
+    across processes and with collector capture files.
+``event``
+    One of ``started``, ``view``, ``deliver``, ``done``.
+``node``
+    This worker's node id.
+
+Event-specific fields:
+
+``started``
+    ``port`` (bound UDP port), ``telemetry`` (collector ``HOST:PORT``
+    or ``null``).
+``view``
+    ``view_id``, ``members`` (sorted list of node ids).
+``deliver``
+    ``origin``, ``msg_no``, ``payload`` (UTF-8 decoded, replacement on
+    undecodable bytes).
+``done``
+    ``members``, ``state``, ``packets_sent``, ``shipped`` (probe events
+    shipped to the collector; 0 without ``--telemetry``).
+
+This module runs on the wall-clock side of the determinism fence: it
+stamps stdout lines and the telemetry clock offset with ``time.time``.
+The protocol stack underneath stays deterministic — wall time never
+feeds scheduler or protocol decisions.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import hashlib
 import json
 import sys
+import time
 
 from repro.core.config import RaincoreConfig
 from repro.core.events import Delivery, SessionListener, ViewChange
 from repro.core.session import RaincoreNode
 from repro.runtime.scheduler import AsyncioScheduler
+from repro.runtime.telemetry import TelemetryShipper
 from repro.runtime.udp import UdpFabric
 
-__all__ = ["main", "run_worker"]
+__all__ = ["main", "run_worker", "parse_peers", "build_parser", "STDOUT_SCHEMA"]
+
+#: Version carried in the ``v`` field of every stdout line (see module
+#: docstring for the line schema).
+STDOUT_SCHEMA = 2
+
+#: Seconds between telemetry ``mark`` heartbeats (collector watermark).
+_MARK_INTERVAL = 0.25
+
+
+def parse_peers(spec: str, node: str, port: int) -> dict[str, int]:
+    """Parse ``--peers`` (``id=port,id=port,...``) and validate it.
+
+    Raises ``ValueError`` on malformed pairs, bad or duplicate ports,
+    duplicate ids, a missing ``node`` entry, or a ``port`` mismatch with
+    the node's own entry.
+    """
+    ports: dict[str, int] = {}
+    for pair in spec.split(","):
+        pair = pair.strip()
+        nid, sep, text = pair.partition("=")
+        if not sep or not nid or not text:
+            raise ValueError(f"--peers entry {pair!r} is not id=port")
+        try:
+            p = int(text)
+        except ValueError:
+            raise ValueError(f"--peers entry {pair!r} has a non-integer port") from None
+        if not 1 <= p <= 65535:
+            raise ValueError(f"--peers entry {pair!r} port out of range")
+        if nid in ports:
+            raise ValueError(f"--peers lists node {nid!r} twice")
+        ports[nid] = p
+    if len(set(ports.values())) != len(ports):
+        raise ValueError("--peers assigns the same port to two nodes")
+    if node not in ports:
+        raise ValueError(f"--peers does not include this node ({node!r})")
+    if ports[node] != port:
+        raise ValueError(
+            f"--port {port} does not match this node's --peers entry {ports[node]}"
+        )
+    return ports
+
+
+def worker_seed(node: str) -> int:
+    """Deterministic per-node scheduler seed (stable across processes)."""
+    return int.from_bytes(hashlib.sha256(node.encode()).digest()[:4], "big")
 
 
 class _JsonReporter(SessionListener):
@@ -38,7 +122,14 @@ class _JsonReporter(SessionListener):
         self.node_id = node_id
 
     def _emit(self, event: str, **fields) -> None:
-        print(json.dumps({"event": event, "node": self.node_id, **fields}), flush=True)
+        line = {
+            "v": STDOUT_SCHEMA,
+            "ts": time.time(),
+            "event": event,
+            "node": self.node_id,
+            **fields,
+        }
+        print(json.dumps(line, sort_keys=True), flush=True)
 
     def on_view_change(self, view: ViewChange) -> None:
         self._emit("view", members=list(view.members), view_id=view.view_id)
@@ -51,6 +142,21 @@ class _JsonReporter(SessionListener):
             "deliver", origin=delivery.origin, msg_no=delivery.msg_no,
             payload=str(payload),
         )
+
+
+class _Sidecar(asyncio.DatagramProtocol):
+    """Connected UDP socket to the collector; relays pulls to the shipper."""
+
+    def __init__(self) -> None:
+        self.shipper: TelemetryShipper | None = None
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport) -> None:  # pragma: no cover - trivial
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if self.shipper is not None:
+            self.shipper.on_datagram(data)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,25 +181,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds after start to multicast --payload",
     )
     parser.add_argument("--payload", default="hello-from-worker")
+    parser.add_argument(
+        "--telemetry", default=None, metavar="HOST:PORT",
+        help="ship probe events to a raintap collector at this address",
+    )
+    parser.add_argument(
+        "--ring-capacity", type=int, default=512,
+        help="flight-recorder ring size per node (with --telemetry)",
+    )
     return parser
 
 
 async def run_worker(args) -> int:
-    ports = {}
-    for pair in args.peers.split(","):
-        nid, port = pair.split("=")
-        ports[nid] = int(port)
-    if args.node not in ports or ports[args.node] != args.port:
-        raise SystemExit("--port must match this node's entry in --peers")
+    try:
+        ports = parse_peers(args.peers, args.node, args.port)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
     fabric = UdpFabric(ports)
-    scheduler = AsyncioScheduler(asyncio.get_event_loop(), seed=hash(args.node) & 0xFFFF)
+    loop = asyncio.get_running_loop()
+    scheduler = AsyncioScheduler(loop, seed=worker_seed(args.node))
     config = RaincoreConfig.tuned(ring_size=len(ports), hop_interval=args.hop_interval)
     reporter = _JsonReporter(args.node)
     node = RaincoreNode(args.node, scheduler, fabric, config, reporter)
 
+    shipper: TelemetryShipper | None = None
+    sidecar: asyncio.DatagramTransport | None = None
+    if args.telemetry:
+        host, sep, text = args.telemetry.rpartition(":")
+        if not sep or not host:
+            raise SystemExit(f"--telemetry {args.telemetry!r} is not HOST:PORT")
+        try:
+            tport = int(text)
+        except ValueError:
+            raise SystemExit(
+                f"--telemetry {args.telemetry!r} has a non-integer port"
+            ) from None
+        from repro.obs import FlightRecorder, ProbeBus
+
+        bus = ProbeBus(scheduler)
+        recorder = FlightRecorder(bus, capacity=args.ring_capacity)
+        protocol = _Sidecar()
+        sidecar, _ = await loop.create_datagram_endpoint(
+            lambda: protocol, remote_addr=(host, tport)
+        )
+        # One fixed offset maps the scheduler's monotonic clock onto the
+        # epoch timeline every worker shares (see repro.runtime.telemetry).
+        shipper = TelemetryShipper(
+            args.node,
+            sidecar.sendto,
+            clock_offset=time.time() - scheduler.now,
+            recorder=recorder,
+        )
+        protocol.shipper = shipper
+        bus.subscribe(shipper.on_probe)
+        fabric.probe = bus
+        node.probe = bus
+        node.transport.probe = bus
+
     await fabric.open(args.node)
-    reporter._emit("started", port=args.port)
+    reporter._emit("started", port=args.port, telemetry=args.telemetry)
+    if shipper is not None:
+        shipper.hello(fabric.address_of(args.node))
     if args.bootstrap:
         node.start_new_group()
     else:
@@ -104,21 +253,32 @@ async def run_worker(args) -> int:
     multicast_at = (
         scheduler.now + args.multicast_at if args.multicast_at is not None else None
     )
-    while scheduler.now < deadline:
-        await asyncio.sleep(0.02)
-        if multicast_at is not None and scheduler.now >= multicast_at:
-            multicast_at = None
-            node.multicast(args.payload.encode())
+    next_mark = scheduler.now
+    try:
+        while scheduler.now < deadline:
+            await asyncio.sleep(0.02)
+            if multicast_at is not None and scheduler.now >= multicast_at:
+                multicast_at = None
+                node.multicast(args.payload.encode())
+            if shipper is not None and scheduler.now >= next_mark:
+                next_mark = scheduler.now + _MARK_INTERVAL
+                shipper.mark()
 
-    reporter._emit(
-        "done",
-        members=list(node.members),
-        state=node.state.value,
-        packets_sent=fabric.stats.for_node(args.node).packets_sent,
-    )
-    node.crash()
-    fabric.close_all()
-    return 0
+        reporter._emit(
+            "done",
+            members=list(node.members),
+            state=node.state.value,
+            packets_sent=fabric.stats.for_node(args.node).packets_sent,
+            shipped=shipper.shipped if shipper is not None else 0,
+        )
+        return 0
+    finally:
+        node.crash()
+        fabric.close_all()
+        if shipper is not None:
+            shipper.bye()
+        if sidecar is not None:
+            sidecar.close()
 
 
 def main(argv: list[str] | None = None) -> int:

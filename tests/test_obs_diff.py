@@ -198,6 +198,86 @@ def test_load_events_single_record_line_is_jsonl_not_bundle(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# load_events: raintap collector captures (docs/TELEMETRY.md)
+# ----------------------------------------------------------------------
+CAPTURE_HEADER = '{"reorder":0.05,"schema":"repro.obs.capture/1","silence":1.0,"t0":100.0}'
+REC = '{"n": %d, "at": %s, "node": "A", "kind": "core.wakeup", "args": []}'
+
+
+def write_capture(tmp_path, name, body, newline=True):
+    path = tmp_path / name
+    path.write_text(CAPTURE_HEADER + "\n" + body + ("\n" if newline else ""))
+    return path
+
+
+def test_load_events_sniffs_collector_captures(tmp_path):
+    path = write_capture(
+        tmp_path, "cap.jsonl", (REC % (1, "100.5")) + "\n" + (REC % (2, "100.6"))
+    )
+    records = load_events(path)
+    # The header line is metadata, not an event; records pass through
+    # with their wall-clock stamps intact.
+    assert [r["n"] for r in records] == [1, 2]
+    assert records[0]["at"] == 100.5
+    # A capture diffs against itself like any export.
+    assert first_divergence(records, load_events(path)) is None
+
+
+def test_capture_torn_final_line_is_tolerated(tmp_path):
+    """A live capture killed mid-write ends in a half-record with no
+    newline; the loader drops exactly that line and keeps the rest."""
+    torn = (REC % (1, "100.5")) + "\n" + (REC % (2, "100.6"))[:20]
+    path = write_capture(tmp_path, "killed.jsonl", torn, newline=False)
+    records = load_events(path)
+    assert [r["n"] for r in records] == [1]
+
+
+def test_capture_torn_midfile_line_still_raises(tmp_path):
+    """A torn line *followed by* complete records is interleaved
+    corruption (two writers, lost flush ordering), not a clean kill —
+    the loader must not silently skip it."""
+    body = (REC % (1, "100.5")) + "\n" + (REC % (2, "100.6"))[:20] + "\n" + (
+        REC % (3, "100.7")
+    )
+    path = write_capture(tmp_path, "interleaved.jsonl", body)
+    with pytest.raises(ValueError, match=r"interleaved\.jsonl:3: not JSON"):
+        load_events(path)
+
+
+def test_capture_complete_final_line_with_no_newline_loads(tmp_path):
+    """Torn-tail tolerance is about *undecodable* tails: a final record
+    that parses fine is kept even without its trailing newline."""
+    body = (REC % (1, "100.5")) + "\n" + (REC % (2, "100.6"))
+    path = write_capture(tmp_path, "flushcut.jsonl", body, newline=False)
+    assert [r["n"] for r in load_events(path)] == [1, 2]
+
+
+def test_capture_with_unsupported_schema_raises(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(
+        '{"schema": "repro.obs.capture/9"}\n' + (REC % (1, "100.5")) + "\n"
+    )
+    with pytest.raises(ValueError, match="unsupported capture schema"):
+        load_events(path)
+
+
+def test_capture_with_only_a_header_is_empty(tmp_path):
+    path = tmp_path / "header-only.jsonl"
+    path.write_text(CAPTURE_HEADER + "\n")
+    with pytest.raises(ValueError, match="no probe event records"):
+        load_events(path)
+
+
+def test_plain_jsonl_export_still_rejects_torn_tail(tmp_path):
+    """Torn-tail tolerance applies to captures only: a deterministic
+    export is written atomically, so a torn tail is real corruption."""
+    path = tmp_path / "export.jsonl"
+    path.write_text((REC % (1, "0.5")) + "\n" + (REC % (2, "0.6"))[:20])
+    with pytest.raises(ValueError, match=r"export\.jsonl:2: not JSON"):
+        load_events(path)
+
+
+# ----------------------------------------------------------------------
 # renumber_events: canonical ordinals for merged streams
 # ----------------------------------------------------------------------
 def test_renumber_assigns_ordinals_in_given_order():

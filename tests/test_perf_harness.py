@@ -23,6 +23,7 @@ def test_run_suite_quick_reports_all_metrics():
         "resync_overhead_ratio",
         "prof_overhead_ratio",
         "agg_overhead_ratio",
+        "telemetry_overhead_ratio",
         "shard_scaling_efficiency_4x",
     }
     assert all(v > 0 for v in metrics.values())

@@ -7,7 +7,10 @@ import pytest
 
 from repro.net.eventloop import EventLoop
 from repro.obs.probe import ProbeBus
-from repro.runtime.udp import UdpFabric
+from repro.runtime.udp import FABRIC_MAGIC, FABRIC_VERSION, UdpFabric
+
+#: The valid frame prefix, rebuilt here so a constant drift gets caught.
+PREFIX = FABRIC_MAGIC + bytes([FABRIC_VERSION])
 
 
 def probed_fabric(ports):
@@ -71,6 +74,60 @@ def test_garbage_datagram_dropped():
     assert fabric.packets_dropped == 1
 
 
+def test_prefixless_pickle_never_reaches_the_deserializer():
+    """A valid pickle without the magic prefix is dropped as bad-magic —
+    arbitrary bytes sprayed at the port must not reach pickle.loads."""
+
+    class Boom:
+        def __reduce__(self):
+            return (pytest.fail, ("pickle.loads ran on a prefixless frame",))
+
+    fabric, recorded = probed_fabric({"A": 41031})
+    local = fabric.address_of("A")
+    fabric._on_datagram(local, pickle.dumps((local, local, 4, Boom())))
+    (drop,) = recorded
+    assert drop.kind == "net.drop" and drop.args[-1] == "bad-magic"
+
+
+def test_wrong_version_dropped_as_bad_magic():
+    fabric, recorded = probed_fabric({"A": 41032})
+    local = fabric.address_of("A")
+    stale = FABRIC_MAGIC + bytes([FABRIC_VERSION + 1])
+    fabric._on_datagram(local, stale + pickle.dumps((local, local, 1, b"x")))
+    (drop,) = recorded
+    assert drop.args[-1] == "bad-magic"
+    assert fabric.packets_dropped == 1
+
+
+def test_oversized_frame_dropped_both_directions():
+    fabric, recorded = probed_fabric({"A": 41033, "B": 41034})
+    a, b = fabric.address_of("A"), fabric.address_of("B")
+
+    # Receive side: an oversized datagram dies before any decoding.
+    fabric._on_datagram(a, b"\xff" * (fabric.max_frame_bytes + 1))
+    assert recorded[-1].kind == "net.drop"
+    assert recorded[-1].args[-1] == "oversized"
+    assert recorded[-1].args[3] == fabric.max_frame_bytes + 1
+
+    # Send side: a payload that encodes past the cap never hits a socket.
+    async def scenario():
+        await fabric.open("A")
+        try:
+            fabric.send(a, b, b"y" * (fabric.max_frame_bytes + 1), 100)
+        finally:
+            fabric.close_all()
+
+    asyncio.run(scenario())
+    assert [e.kind for e in recorded[-2:]] == ["net.send", "net.drop"]
+    assert recorded[-1].args[-1] == "oversized"
+    assert fabric.packets_dropped == 2
+
+
+def test_max_frame_bytes_must_exceed_prefix():
+    with pytest.raises(ValueError):
+        UdpFabric({"A": 41035}, max_frame_bytes=len(PREFIX))
+
+
 def test_probe_send_then_no_endpoint_drop():
     fabric, recorded = probed_fabric({"A": 41060, "B": 41061})
     src, dst = fabric.address_of("A"), fabric.address_of("B")
@@ -107,11 +164,16 @@ def test_probe_unpicklable_drop():
 def test_probe_garbage_drop_has_no_forged_header_fields():
     fabric, recorded = probed_fabric({"A": 41064})
     local = fabric.address_of("A")
+    # No prefix at all: dropped as bad-magic before deserialization.
     fabric._on_datagram(local, b"\x00not-a-pickle")
-    (drop,) = recorded
-    assert drop.node == "A" and drop.kind == "net.drop"
-    # Undecodable bytes: src/frame are unknown, size is the raw length.
-    assert drop.args == ("?", local, "?", len(b"\x00not-a-pickle"), "garbage")
+    # Valid prefix, undecodable body: dropped as garbage.
+    fabric._on_datagram(local, PREFIX + b"\x00not-a-pickle")
+    bad_magic, garbage = recorded
+    for drop, where in ((bad_magic, "bad-magic"), (garbage, "garbage")):
+        assert drop.node == "A" and drop.kind == "net.drop"
+        # Undecodable bytes: src/frame are unknown, size is the raw length.
+        n = len(b"\x00not-a-pickle") + (len(PREFIX) if where == "garbage" else 0)
+        assert drop.args == ("?", local, "?", n, where)
 
 
 def test_probe_misaddressed_unbound_and_deliver():
@@ -119,13 +181,13 @@ def test_probe_misaddressed_unbound_and_deliver():
     a, b = fabric.address_of("A"), fabric.address_of("B")
 
     # Datagram whose inner dst disagrees with the receiving socket.
-    fabric._on_datagram(a, pickle.dumps((b, b, 5, b"stray")))
+    fabric._on_datagram(a, PREFIX + pickle.dumps((b, b, 5, b"stray")))
     # Correctly addressed but nothing bound yet.
-    fabric._on_datagram(a, pickle.dumps((b, a, 5, b"early")))
+    fabric._on_datagram(a, PREFIX + pickle.dumps((b, a, 5, b"early")))
     # Bound: delivery emits net.deliver and reaches the handler.
     got = []
     fabric.bind(a, got.append)
-    fabric._on_datagram(a, pickle.dumps((b, a, 5, b"hello")))
+    fabric._on_datagram(a, PREFIX + pickle.dumps((b, a, 5, b"hello")))
 
     kinds = [(e.kind, e.args[-1]) for e in recorded]
     assert kinds == [
